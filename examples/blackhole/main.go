@@ -1,0 +1,67 @@
+// Command blackhole demonstrates the §5.1 case study: a black-hole
+// attacker forges AODV route replies to swallow a network's traffic, and
+// the inner-circle defense of Fig. 6 neutralizes it. The demo runs the
+// same 50-node mobile scenario three times — clean, attacked, and attacked
+// with inner-circle protection — and prints the throughput collapse and
+// recovery.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ic "innercircle"
+)
+
+func run() error {
+	var (
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		simTime  = flag.Float64("time", 120, "simulated seconds per scenario")
+		attacker = flag.Int("attackers", 2, "number of black-hole nodes")
+	)
+	flag.Parse()
+
+	base := ic.PaperBlackholeConfig()
+	base.SimTime = ic.Time(*simTime)
+	base.Seed = *seed
+
+	scenarios := []struct {
+		name string
+		mal  int
+		icOn bool
+	}{
+		{"clean network, plain AODV", 0, false},
+		{fmt.Sprintf("%d black holes, plain AODV", *attacker), *attacker, false},
+		{fmt.Sprintf("%d black holes, inner-circle AODV (L=1)", *attacker), *attacker, true},
+	}
+
+	fmt.Printf("Black-hole attack on AODV — %d nodes, %v of virtual time, random waypoint %v m/s\n\n",
+		base.Nodes, base.SimTime, base.Speed)
+	for _, sc := range scenarios {
+		cfg := base
+		cfg.Malicious = sc.mal
+		cfg.IC = sc.icOn
+		cfg.L = 1
+		res, err := ic.RunBlackhole(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sc.name, err)
+		}
+		fmt.Printf("%-45s throughput %5.1f%%  (%d/%d packets), %.2f J/node\n",
+			sc.name, res.Throughput, res.Received, res.Sent, res.EnergyPerNode)
+	}
+
+	fmt.Println("\nThe attacker answers every route request with a forged, fresher route")
+	fmt.Println("(a high destination sequence number) and silently drops the traffic it")
+	fmt.Println("attracts. With the inner circle, a route reply only propagates after the")
+	fmt.Println("replier's neighbours have co-signed it, and a forged reply never gets the")
+	fmt.Println("required approvals — so only genuine routes are established.")
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "blackhole:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,81 @@
+// Command targettracking demonstrates the §5.2 case study: a wireless
+// sensor network detecting and localizing targets while some sensors are
+// faulty. It contrasts the centralized solution (every detecting sensor
+// floods a raw notification to the base station) with the inner-circle
+// solution (each detecting circle votes statistically, fuses its readings
+// with the fault-tolerant cluster algorithm, trilaterates the target, and
+// forwards one threshold-signed agreed message).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ic "innercircle"
+)
+
+var faultNames = map[string]ic.FaultKind{
+	"none":         ic.FaultNone,
+	"stuck":        ic.FaultStuckAtZero,
+	"calibration":  ic.FaultCalibration,
+	"interference": ic.FaultInterference,
+	"position":     ic.FaultPosition,
+}
+
+func run() error {
+	var (
+		seed  = flag.Int64("seed", 3, "simulation seed")
+		level = flag.Int("L", 4, "dependability level for the inner-circle run")
+		fault = flag.String("fault", "interference", "sensor fault model: none|stuck|calibration|interference|position")
+	)
+	flag.Parse()
+
+	kind, ok := faultNames[*fault]
+	if !ok {
+		return fmt.Errorf("unknown fault model %q", *fault)
+	}
+
+	base := ic.PaperSensorConfig()
+	base.Seed = *seed
+	base.Fault = kind
+
+	fmt.Printf("Target detection/localization — %d sensors on %gx%g m², %d faulty (%s)\n\n",
+		base.Nodes-1, base.Region, base.Region, base.Faulty, *fault)
+
+	for _, sc := range []struct {
+		name string
+		icOn bool
+	}{
+		{"centralized (raw notifications)", false},
+		{fmt.Sprintf("inner circle (statistical voting, L=%d)", *level), true},
+	} {
+		cfg := base
+		cfg.IC = sc.icOn
+		cfg.L = *level
+		res, err := ic.RunSensor(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sc.name, err)
+		}
+		fmt.Printf("%s:\n", sc.name)
+		fmt.Printf("  targets detected:        %d/%d\n", res.Targets-res.Missed, res.Targets)
+		fmt.Printf("  detection latency:       %.2f s\n", res.DetectionLatency)
+		fmt.Printf("  localization error:      %.1f m\n", res.LocalizationErr)
+		fmt.Printf("  false alarms at base:    %.2f %% per sensor-epoch\n", res.FalseAlarmProb)
+		fmt.Printf("  notifications accepted:  %d\n", res.Notifications)
+		fmt.Printf("  radio energy (per node): %.3f J beyond idle\n\n", res.TrafficEnergy)
+	}
+
+	fmt.Println("The inner circle filters faulty readings at the source: a spurious")
+	fmt.Println("detection finds no co-signing neighbours, duplicate reports collapse into")
+	fmt.Println("one agreed message per circle, and the fault-tolerant cluster algorithm")
+	fmt.Println("excludes corrupted observations before the position is trilaterated.")
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "targettracking:", err)
+		os.Exit(1)
+	}
+}

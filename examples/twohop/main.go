@@ -1,0 +1,85 @@
+// Command twohop demonstrates the paper's §3 extension: widening inner
+// circles to two hops. A sparse line topology gives the proposing node a
+// single physical neighbour, so a dependability level of 2 is unreachable
+// with one-hop circles — and reachable once first-ring members relay the
+// round to the second ring.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	ic "innercircle"
+)
+
+func run() error {
+	// A line: 0 — 1 — 2 — 3, 200 m spacing (250 m radio range), so node 0
+	// hears only node 1.
+	positions := []ic.Point{{X: 0}, {X: 200}, {X: 400}, {X: 600}}
+
+	for _, twoHop := range []bool{false, true} {
+		agreed := 0
+		var failReason string
+		stsCfg := ic.DefaultSTS()
+		stsCfg.Handshake = false
+		cfg := ic.NetworkConfig{
+			N:      len(positions),
+			Seed:   11,
+			Radio:  ic.Default80211Radio(),
+			MAC:    ic.DefaultMAC(),
+			Energy: ic.NS2Energy(),
+			Mobility: func(i int, _ *ic.RNG) ic.MobilityModel {
+				return ic.Static(positions[i])
+			},
+			IC:  true,
+			STS: stsCfg,
+			Vote: ic.VoteConfig{
+				Mode: ic.Deterministic, L: 2,
+				RoundTimeout: 0.3, Retries: 2,
+				TwoHop: twoHop,
+			},
+			Callbacks: func(n *ic.Node) ic.VoteCallbacks {
+				return ic.VoteCallbacks{
+					Check:    func(ic.NodeID, []byte) bool { return true },
+					OnAgreed: func(ic.AgreedMsg) { agreed++ },
+					OnRoundFailed: func(_ []byte, reason string) {
+						failReason = reason
+					},
+				}
+			},
+		}
+		net, err := ic.BuildNetwork(cfg)
+		if err != nil {
+			return err
+		}
+		net.StartSTS()
+		if err := net.Run(4); err != nil {
+			return err
+		}
+		fmt.Printf("two-hop circles: %v\n", twoHop)
+		fmt.Printf("  node 0 one-hop neighbours: %v\n", net.Nodes[0].STS.Neighbors())
+		if err := net.Nodes[0].Vote.Propose([]byte("needs two approvals")); err != nil {
+			return err
+		}
+		if err := net.Run(8); err != nil {
+			return err
+		}
+		if agreed > 0 {
+			fmt.Printf("  L=2 round: agreed (%d deliveries — node 2 voted through relayer 1)\n\n", agreed)
+		} else {
+			fmt.Printf("  L=2 round: failed (%s)\n\n", failReason)
+		}
+	}
+	fmt.Println("With one-hop circles the proposer's single neighbour cannot satisfy L=2;")
+	fmt.Println("the two-hop extension recruits the second ring, trading extra local relay")
+	fmt.Println("traffic for a larger approval pool — the §3 rebalancing of the")
+	fmt.Println("dependability/performance trade-off.")
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "twohop:", err)
+		os.Exit(1)
+	}
+}

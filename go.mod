@@ -1,0 +1,3 @@
+module innercircle
+
+go 1.22

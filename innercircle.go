@@ -1,0 +1,226 @@
+// Package innercircle is a Go implementation of inner-circle consistency
+// for wireless ad hoc networks, reproducing "Neutralization of Errors and
+// Attacks in Wireless Ad Hoc Networks" (Basile, Kalbarczyk, Iyer — DSN
+// 2005).
+//
+// Inner-circle consistency neutralizes errors and attacks at their source:
+// before a node's value propagates into the network, the node's one-hop
+// neighbours (its inner circle) validate it — with an application-aware
+// check (deterministic voting) or by statistically fusing it with their own
+// observations (statistical voting) — and co-sign the result with an
+// (L+1)-threshold signature. Remote recipients verify the signature to
+// confirm that L+1 nodes vouched for the value.
+//
+// The package exposes four layers:
+//
+//   - the fault-tolerant fusion algorithms of §4.3 (FTCluster, FTMean,
+//     Trilaterate) — pure functions usable on their own;
+//   - the threshold-signature schemes of §2 (NewRSADealer, NewSimDealer,
+//     DealRing);
+//   - the simulated wireless network substrate and the inner-circle
+//     framework node stack (BuildNetwork), for constructing custom
+//     scenarios; and
+//   - the paper's two evaluation scenarios, runnable directly
+//     (RunBlackhole, RunSensor and their sweep drivers).
+//
+// The examples/ directory demonstrates each layer; bench_test.go
+// regenerates every figure of the paper's evaluation.
+package innercircle
+
+import (
+	"io"
+
+	"innercircle/internal/crypto/thresh"
+	"innercircle/internal/experiment"
+	"innercircle/internal/fusion"
+	"innercircle/internal/geo"
+	"innercircle/internal/node"
+	"innercircle/internal/sensor"
+	"innercircle/internal/stats"
+	"innercircle/internal/vote"
+)
+
+// ---- Fault-tolerant fusion (§4.3) ---------------------------------------
+
+// Vec is an n-dimensional observation for the fusion algorithms.
+type Vec = fusion.Vec
+
+// FTClusterResult reports the outcome of the fault-tolerant cluster
+// algorithm: the estimate, the surviving observation indices, and the
+// removal order of excluded ones.
+type FTClusterResult = fusion.FTClusterResult
+
+// Point is a 2-D position in metres.
+type Point = geo.Point
+
+// FTCluster runs the paper's Fault-Tolerant Cluster algorithm (Fig. 4):
+// repeatedly exclude the observation whose leave-one-out distance from the
+// rest is largest and exceeds eta, then estimate by the centroid of the
+// surviving cluster. Unlike the fault-tolerant mean, it discards nothing
+// when all observations are consistent.
+func FTCluster(points []Vec, eta float64) (FTClusterResult, error) {
+	return fusion.FTCluster(points, eta)
+}
+
+// FTMean is the classic fault-tolerant mean baseline (Dolev et al.):
+// per coordinate, drop the f smallest and f largest observations and
+// average the rest.
+func FTMean(points []Vec, f int) (Vec, error) { return fusion.FTMean(points, f) }
+
+// Trilaterate estimates a target position from three anchors and measured
+// distances.
+func Trilaterate(a1, a2, a3 Point, d1, d2, d3 float64) (Point, error) {
+	return fusion.Trilaterate(a1, a2, a3, d1, d2, d3)
+}
+
+// TrilaterateAll enumerates anchor triples (up to maxTriples; 0 = all) and
+// returns every non-degenerate estimate — the candidate set the sensor
+// scenario filters with FTCluster.
+func TrilaterateAll(anchors []Point, dists []float64, maxTriples int) []Point {
+	return fusion.TrilaterateAll(anchors, dists, maxTriples)
+}
+
+// WorstCaseError returns E*, the worst-case estimation error F colluding
+// observations (of N total) can add to the FT-cluster estimate when the
+// correct observations span deltaC (§4.3, result 2).
+func WorstCaseError(f, n int, deltaC float64) float64 {
+	return fusion.WorstCaseError(f, n, deltaC)
+}
+
+// ---- Threshold signatures (§2) ------------------------------------------
+
+// Threshold-signature types (see internal/crypto/thresh).
+type (
+	// Dealer creates group keys with threshold shares.
+	Dealer = thresh.Dealer
+	// GroupKey is the public side of a dealt key: combine and verify.
+	GroupKey = thresh.GroupKey
+	// Signer is one node's share: it produces partial signatures.
+	Signer = thresh.Signer
+	// Partial is one share's contribution to a signature.
+	Partial = thresh.Partial
+	// Signature is a combined threshold signature.
+	Signature = thresh.Signature
+)
+
+// NewRSADealer returns the faithful Shoup-style threshold RSA dealer with
+// the given modulus size (the paper uses 1024- and 512-bit keys).
+func NewRSADealer(bits int) Dealer { return &thresh.RSADealer{Bits: bits} }
+
+// NewSimDealer returns the keyed-MAC stand-in dealer used for large
+// parameter sweeps; signatures report wireBytes as their transport size.
+func NewSimDealer(seed []byte, wireBytes int) Dealer {
+	return thresh.NewSimDealer(seed, wireBytes)
+}
+
+// Refresher is the proactive-share-refresh capability (§2's deferred
+// extension): shares re-randomize so captures from different epochs do
+// not combine. Both dealers implement it.
+type Refresher = thresh.Refresher
+
+// PublicRing maps dependability level L to its group key.
+type PublicRing = vote.PublicRing
+
+// NodeKeys maps dependability level L to one node's signer.
+type NodeKeys = vote.NodeKeys
+
+// DealRing deals one group key per dependability level 1..maxL among n
+// nodes — the trusted-dealer initialization of §2.
+func DealRing(dealer Dealer, maxL, n int) (PublicRing, []NodeKeys, error) {
+	return vote.DealRing(dealer, maxL, n)
+}
+
+// LevelFor computes the §4.2 dependability level L = N − F − 1 for an
+// inner circle of n nodes under a failure budget of fb Byzantine nodes,
+// fc crashes and fl broken links.
+func LevelFor(n, fb, fc, fl int) (int, error) { return vote.LevelFor(n, fb, fc, fl) }
+
+// ByzantineLevel returns the level realizing the standard Byzantine-
+// agreement special case (L+1 = ⌈2N/3⌉) for an n-node inner circle.
+func ByzantineLevel(n int) (int, error) { return vote.ByzantineLevel(n) }
+
+// ---- Network substrate ---------------------------------------------------
+
+// Network-construction types (see internal/node).
+type (
+	// NetworkConfig describes a simulated deployment.
+	NetworkConfig = node.Config
+	// Network is a built deployment: kernel, channel, nodes, keys.
+	Network = node.Network
+	// Node is one assembled protocol stack (Fig. 1).
+	Node = node.Node
+)
+
+// BuildNetwork assembles a simulated wireless network per the
+// configuration; see examples/quickstart for a complete walkthrough.
+func BuildNetwork(cfg NetworkConfig) (*Network, error) { return node.Build(cfg) }
+
+// ---- Paper experiments ----------------------------------------------------
+
+// Experiment configuration and result types (see internal/experiment).
+type (
+	// BlackholeConfig parameterizes the §5.1 AODV black-hole scenario.
+	BlackholeConfig = experiment.BlackholeConfig
+	// BlackholeResult is one run's outcome.
+	BlackholeResult = experiment.BlackholeResult
+	// SensorConfig parameterizes the §5.2 sensor scenario.
+	SensorConfig = experiment.SensorConfig
+	// SensorResult is one run's outcome.
+	SensorResult = experiment.SensorResult
+	// FaultKind enumerates the §5.2 sensor fault models.
+	FaultKind = sensor.FaultKind
+	// FusionAlg selects the statistical fusion algorithm for the sensor
+	// scenario (ablation A3 in situ).
+	FusionAlg = experiment.FusionAlg
+	// Table accumulates a figure's rows across runs.
+	Table = stats.Table
+)
+
+// Sensor fault models (§5.2).
+const (
+	FaultNone         = sensor.FaultNone
+	FaultStuckAtZero  = sensor.FaultStuckAtZero
+	FaultCalibration  = sensor.FaultCalibration
+	FaultInterference = sensor.FaultInterference
+	FaultPosition     = sensor.FaultPosition
+)
+
+// Fusion algorithms for SensorConfig.Fusion.
+const (
+	FusionCluster = experiment.FusionCluster
+	FusionMean    = experiment.FusionMean
+	FusionNaive   = experiment.FusionNaive
+)
+
+// PaperBlackholeConfig returns the Fig. 7 simulation-parameter box.
+func PaperBlackholeConfig() BlackholeConfig { return experiment.PaperBlackholeConfig() }
+
+// PaperSensorConfig returns the Fig. 8 simulation-parameter box.
+func PaperSensorConfig() SensorConfig { return experiment.PaperSensorConfig() }
+
+// RunBlackhole executes one Fig. 7 run.
+func RunBlackhole(cfg BlackholeConfig) (BlackholeResult, error) {
+	return experiment.RunBlackhole(cfg)
+}
+
+// RunSensor executes one Fig. 8 run.
+func RunSensor(cfg SensorConfig) (SensorResult, error) {
+	return experiment.RunSensor(cfg)
+}
+
+// BlackholeSweep regenerates Fig. 7(a) and 7(b): throughput and energy
+// tables across malicious-node counts for No-IC and the given
+// dependability levels.
+func BlackholeSweep(base BlackholeConfig, maliciousCounts []int, levels []int, runs int, progress io.Writer) (throughput, energy *Table, err error) {
+	return experiment.BlackholeSweep(base, maliciousCounts, levels, runs, progress)
+}
+
+// SensorSweep regenerates Fig. 8(a)–(f) across fault models and
+// dependability levels; the returned map is keyed by "miss", "false",
+// "energyT", "energyNT", "latency", "locerr".
+func SensorSweep(base SensorConfig, levels []int, faults []FaultKind, runs int, progress io.Writer) (map[string]*Table, error) {
+	return experiment.SensorSweep(base, levels, faults, runs, progress)
+}
+
+// AllFaultKinds lists the Fig. 8 fault sweep order.
+func AllFaultKinds() []FaultKind { return sensor.AllFaultKinds() }

@@ -1,0 +1,169 @@
+package innercircle_test
+
+import (
+	"math"
+	"testing"
+
+	ic "innercircle"
+)
+
+// TestPublicFusionAPI exercises the §4.3 algorithms through the facade.
+func TestPublicFusionAPI(t *testing.T) {
+	obs := []ic.Vec{{1, 1}, {1.2, 0.9}, {0.8, 1.1}, {40, 40}}
+	res, err := ic.FTCluster(obs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Removed) != 1 || res.Removed[0] != 3 {
+		t.Fatalf("Removed = %v, want the outlier", res.Removed)
+	}
+	m, err := ic.FTMean([]ic.Vec{{1}, {2}, {3}, {100}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m[0]-2.5) > 1e-9 {
+		t.Fatalf("FTMean = %v", m)
+	}
+	if e := ic.WorstCaseError(3, 9, 1); math.Abs(e-1) > 1e-9 {
+		t.Fatalf("WorstCaseError(N/3) = %v, want deltaC", e)
+	}
+	target := ic.Point{X: 5, Y: 7}
+	a1, a2, a3 := ic.Point{}, ic.Point{X: 10}, ic.Point{Y: 10}
+	got, err := ic.Trilaterate(a1, a2, a3, target.Dist(a1), target.Dist(a2), target.Dist(a3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dist(target) > 1e-6 {
+		t.Fatalf("Trilaterate = %v", got)
+	}
+}
+
+// TestPublicThresholdAPI deals a ring and round-trips a signature.
+func TestPublicThresholdAPI(t *testing.T) {
+	ring, keys, err := ic.DealRing(ic.NewSimDealer([]byte("facade"), 128), 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gk := ring[2] // L = 2: three partials needed
+	msg := []byte("agreed value")
+	var partials []ic.Partial
+	for i := 0; i < 3; i++ {
+		p, err := keys[i][2].PartialSign(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partials = append(partials, p)
+	}
+	sig, err := gk.Combine(msg, partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gk.Verify(msg, sig); err != nil {
+		t.Fatal(err)
+	}
+	if err := gk.Verify([]byte("other"), sig); err == nil {
+		t.Fatal("signature verified for wrong message")
+	}
+}
+
+// TestPublicNetworkAPI builds an IC network purely through the facade and
+// completes a deterministic voting round.
+func TestPublicNetworkAPI(t *testing.T) {
+	positions := []ic.Point{{X: 0}, {X: 100}, {X: 200}, {X: 100, Y: 100}}
+	agreed := 0
+	stsCfg := ic.DefaultSTS()
+	stsCfg.Handshake = false
+	cfg := ic.NetworkConfig{
+		N:      4,
+		Seed:   42,
+		Radio:  ic.Default80211Radio(),
+		MAC:    ic.DefaultMAC(),
+		Energy: ic.NS2Energy(),
+		Mobility: func(i int, _ *ic.RNG) ic.MobilityModel {
+			return ic.Static(positions[i])
+		},
+		IC:   true,
+		STS:  stsCfg,
+		Vote: ic.VoteConfig{Mode: ic.Deterministic, L: 1, RoundTimeout: 0.2, Retries: 1},
+		Callbacks: func(n *ic.Node) ic.VoteCallbacks {
+			return ic.VoteCallbacks{
+				Check:    func(center ic.NodeID, value []byte) bool { return string(value) != "bad" },
+				OnAgreed: func(ic.AgreedMsg) { agreed++ },
+			}
+		},
+	}
+	net, err := ic.BuildNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.StartSTS()
+	if err := net.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Nodes[1].Vote.Propose([]byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(6); err != nil {
+		t.Fatal(err)
+	}
+	if agreed == 0 {
+		t.Fatal("no agreement through the public API")
+	}
+	if net.TotalEnergy() <= 0 {
+		t.Fatal("no energy accounted")
+	}
+}
+
+// TestPublicExperimentAPI runs reduced paper scenarios via the facade.
+func TestPublicExperimentAPI(t *testing.T) {
+	bh := ic.PaperBlackholeConfig()
+	bh.Nodes = 25
+	bh.SimTime = 30
+	bh.Seed = 2
+	res, err := ic.RunBlackhole(bh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 {
+		t.Fatal("no traffic generated")
+	}
+
+	sn := ic.PaperSensorConfig()
+	sn.SimTime = 100
+	sn.Seed = 2
+	sres, err := ic.RunSensor(sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Targets != 1 {
+		t.Fatalf("targets = %d, want 1 in 100 s", sres.Targets)
+	}
+	if len(ic.AllFaultKinds()) != 5 {
+		t.Fatal("fault kinds incomplete")
+	}
+}
+
+// TestPaperConfigsMatchParameterBoxes pins the headline constants to the
+// paper's simulation-parameter boxes.
+func TestPaperConfigsMatchParameterBoxes(t *testing.T) {
+	bh := ic.PaperBlackholeConfig()
+	if bh.Nodes != 50 || bh.Region != 1000 || bh.Connections != 10 ||
+		bh.Rate != 4 || bh.PacketBytes != 512 || bh.SimTime != 300 || bh.Speed != 10 {
+		t.Fatalf("black-hole config drifted from the Fig. 7 box: %+v", bh)
+	}
+	sn := ic.PaperSensorConfig()
+	if sn.Nodes != 100 || sn.Region != 200 || sn.Range != 40 || sn.SimTime != 200 ||
+		sn.SensePeriod != 5 || sn.Faulty != 10 || sn.Model.KT != 20000 {
+		t.Fatalf("sensor config drifted from the Fig. 8 box: %+v", sn)
+	}
+	if math.Abs(sn.Lambda-6.635) > 1e-9 {
+		t.Fatalf("lambda = %v, want 6.635", sn.Lambda)
+	}
+	if sn.FaultParams.Eclbr != 2 || sn.FaultParams.Eintf != 10 {
+		t.Fatalf("fault params drifted: %+v", sn.FaultParams)
+	}
+	e := ic.NS2Energy()
+	if e.TxPower != 0.660 || e.RxPower != 0.395 || e.IdlePower != 0.035 {
+		t.Fatalf("energy params drifted: %+v", e)
+	}
+}

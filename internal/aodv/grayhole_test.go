@@ -1,0 +1,63 @@
+package aodv
+
+import (
+	"testing"
+
+	"innercircle/internal/geo"
+	"innercircle/internal/sim"
+)
+
+func TestGrayHoleIntermittentAttack(t *testing.T) {
+	// A gray hole with p=0.5 misbehaves roughly half the time: across many
+	// discoveries some forged RREPs and some genuine forwards occur.
+	pts := append(linePts(3), geo.Point{X: 50, Y: 150})
+	net := buildPlain(t, pts)
+	net.routers[3].SetGrayHole(0.5, sim.NewRNG(9))
+	for i := 0; i < 40; i++ {
+		i := i
+		net.k.MustSchedule(sim.Duration(i)+1, func() {
+			_ = net.routers[0].Send(2, i, 256)
+		})
+	}
+	if err := net.k.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	delivered := len(net.got[2])
+	if delivered == 0 {
+		t.Fatal("gray hole at p=0.5 blocked everything (should be intermittent)")
+	}
+	if delivered == 40 {
+		t.Fatal("gray hole at p=0.5 never attacked")
+	}
+}
+
+func TestGrayHoleZeroProbabilityIsCorrect(t *testing.T) {
+	net := buildPlain(t, linePts(3))
+	net.routers[1].SetGrayHole(0, sim.NewRNG(1))
+	if err := net.routers[0].Send(2, "x", 256); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.k.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if len(net.got[2]) != 1 {
+		t.Fatal("p=0 gray hole dropped traffic")
+	}
+}
+
+func TestGrayHoleFullProbabilityIsBlackHole(t *testing.T) {
+	pts := append(linePts(3), geo.Point{X: 50, Y: 150})
+	net := buildPlain(t, pts)
+	net.routers[3].SetGrayHole(1, sim.NewRNG(2))
+	for i := 0; i < 10; i++ {
+		if err := net.routers[0].Send(2, i, 256); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.k.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if len(net.got[2]) != 0 {
+		t.Fatalf("p=1 gray hole delivered %d packets, want 0", len(net.got[2]))
+	}
+}

@@ -1,0 +1,154 @@
+package aodv
+
+import (
+	"innercircle/internal/icnet"
+	"innercircle/internal/link"
+	"innercircle/internal/vote"
+)
+
+// ICAdapter wires a Router into the inner-circle framework, implementing
+// the black-hole defense of Fig. 6:
+//
+//   - outgoing RREPs are intercepted and proposed to the sender's inner
+//     circle (deterministic voting);
+//   - a voter approves a proposed RREP only if the proposer is the route
+//     destination itself or a node the voter already accepted as a
+//     forwarder for that (destination, sequence-number) pair;
+//   - when agreement is reached, every inner-circle member records the
+//     proposer and the designated next hop in its forwarding map fw, and
+//     the next hop injects the RREP into its local AODV — whose own
+//     forwarding is intercepted in turn, repeating the vote hop by hop
+//     back to the requester;
+//   - raw (un-voted) incoming RREPs are suppressed by the interceptor as
+//     unsigned, so a malicious node's forged reply never enters a correct
+//     node's routing table.
+type ICAdapter struct {
+	id     link.NodeID
+	router *Router
+	vs     *vote.Service
+
+	// fw maps (route destination, destination sequence number) to the set
+	// of nodes allowed to forward RREPs for that route — the mapping
+	// maintained by the Inner-circle Callbacks in Fig. 6.
+	fw map[fwKey]map[link.NodeID]bool
+
+	// Stats counts defense activity.
+	Stats ICStats
+}
+
+type fwKey struct {
+	dst    link.NodeID
+	dstSeq uint32
+}
+
+// ICStats counts adapter activity.
+type ICStats struct {
+	RrepsProposed  uint64
+	ChecksAccepted uint64
+	ChecksRejected uint64
+	RrepsInjected  uint64
+}
+
+// NewICAdapter installs the adapter: it registers the RREP template with
+// the interceptor and returns the vote callbacks to use when constructing
+// the node's voting service. Call Bind afterwards to connect the
+// constructed service.
+func NewICAdapter(id link.NodeID, router *Router, ic *icnet.Interceptor) (*ICAdapter, vote.Callbacks) {
+	a := &ICAdapter{
+		id:     id,
+		router: router,
+		fw:     make(map[fwKey]map[link.NodeID]bool),
+	}
+	// Intercept outgoing RREPs: redirect into the voting service.
+	ic.Register(func(e link.Env) bool {
+		_, isRREP := e.Msg.(RREP)
+		return isRREP
+	}, func(e link.Env) {
+		rep, ok := e.Msg.(RREP)
+		if !ok || a.vs == nil {
+			return
+		}
+		a.Stats.RrepsProposed++
+		_ = a.vs.Propose(EncodeRREP(rep))
+	})
+	cbs := vote.Callbacks{
+		Check:    a.check,
+		OnAgreed: a.onAgreed,
+	}
+	return a, cbs
+}
+
+// Bind connects the voting service (constructed after the callbacks).
+func (a *ICAdapter) Bind(vs *vote.Service) { a.vs = vs }
+
+// Verifier returns the interceptor signature check for this node: raw
+// RREPs claim inner-circle protection but carry no signature (always
+// invalid); agreed messages are checked against the level key.
+func (a *ICAdapter) Verifier() icnet.Verifier {
+	return func(e link.Env) (bool, bool) {
+		switch m := e.Msg.(type) {
+		case RREP:
+			return true, false // un-voted RREP: suppress
+		case vote.AgreedMsg:
+			if a.vs == nil {
+				return true, false
+			}
+			return true, a.vs.VerifyAgreed(m) == nil
+		default:
+			_ = m
+			return false, false
+		}
+	}
+}
+
+// check is the Inner-circle Callbacks' check method (Fig. 6): approve
+// center c's proposed RREP only if c is the route destination or a known
+// legitimate forwarder for that route generation.
+func (a *ICAdapter) check(center link.NodeID, value []byte) bool {
+	rep, err := DecodeRREP(value)
+	if err != nil {
+		a.Stats.ChecksRejected++
+		return false
+	}
+	if center == rep.Dst {
+		a.Stats.ChecksAccepted++
+		return true
+	}
+	if set, ok := a.fw[fwKey{dst: rep.Dst, dstSeq: rep.DstSeq}]; ok && set[center] {
+		a.Stats.ChecksAccepted++
+		return true
+	}
+	a.Stats.ChecksRejected++
+	return false
+}
+
+// onAgreed is the Inner-circle Callbacks' onAgreed method: record the
+// approved forwarders and, if this node is the designated next hop, hand
+// the RREP to the local AODV service.
+func (a *ICAdapter) onAgreed(m vote.AgreedMsg) {
+	rep, err := DecodeRREP(m.Value)
+	if err != nil {
+		return
+	}
+	key := fwKey{dst: rep.Dst, dstSeq: rep.DstSeq}
+	set, ok := a.fw[key]
+	if !ok {
+		set = make(map[link.NodeID]bool)
+		a.fw[key] = set
+	}
+	set[m.Center] = true
+	set[rep.NextHop] = true
+	if rep.NextHop == a.id {
+		a.Stats.RrepsInjected++
+		a.router.AcceptRREP(m.Center, rep)
+	}
+}
+
+// AllowedForwarders returns the fw set for a route generation (for tests).
+func (a *ICAdapter) AllowedForwarders(dst link.NodeID, dstSeq uint32) []link.NodeID {
+	var out []link.NodeID
+	for id := range a.fw[fwKey{dst: dst, dstSeq: dstSeq}] {
+		out = append(out, id)
+	}
+	return out
+}

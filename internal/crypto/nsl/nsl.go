@@ -1,0 +1,319 @@
+// Package nsl implements the Needham–Schroeder–Lowe public-key
+// authentication protocol (Lowe's fixed variant, TACAS 1996), which §4.1 of
+// the paper uses to authenticate neighbour links inside the Secure Topology
+// Service. The three-message exchange is
+//
+//	M1: A→B  {Na, A}_pkB
+//	M2: B→A  {Na, Nb, B}_pkA        (Lowe's fix: B's identity included)
+//	M3: A→B  {Nb}_pkB
+//
+// after which both parties share the session key H(Na ‖ Nb), used to MAC
+// subsequent STS beacons.
+//
+// Encryption is textbook RSA over math/big with randomized padding — a
+// faithful protocol model for the simulator, not hardened production
+// cryptography (no OAEP; see DESIGN.md's substitution table).
+package nsl
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// NonceSize is the nonce length in bytes.
+const NonceSize = 16
+
+// SessionKey is the key both parties derive from a completed handshake.
+type SessionKey [sha256.Size]byte
+
+// PublicKey is an RSA public key.
+type PublicKey struct {
+	N *big.Int
+	E *big.Int
+}
+
+// KeyPair is a party's RSA key pair.
+type KeyPair struct {
+	Pub PublicKey
+	d   *big.Int
+}
+
+// GenerateKeyPair creates an RSA key pair of the given modulus size.
+// randSrc nil means crypto/rand.Reader.
+func GenerateKeyPair(bits int, randSrc io.Reader) (*KeyPair, error) {
+	if randSrc == nil {
+		randSrc = rand.Reader
+	}
+	if bits < 256 {
+		return nil, errors.New("nsl: modulus too small")
+	}
+	one := big.NewInt(1)
+	e := big.NewInt(65537)
+	for {
+		p, err := rand.Prime(randSrc, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("nsl: prime: %w", err)
+		}
+		q, err := rand.Prime(randSrc, bits-bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("nsl: prime: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		phi := new(big.Int).Mul(new(big.Int).Sub(p, one), new(big.Int).Sub(q, one))
+		d := new(big.Int).ModInverse(e, phi)
+		if d == nil {
+			continue
+		}
+		return &KeyPair{Pub: PublicKey{N: n, E: new(big.Int).Set(e)}, d: d}, nil
+	}
+}
+
+// encrypt RSA-encrypts plain (must be shorter than the modulus minus the
+// pad) with randomized padding 0x02 ‖ r[8] ‖ 0x00 ‖ plain.
+func encrypt(pub PublicKey, plain []byte, randSrc io.Reader) ([]byte, error) {
+	if randSrc == nil {
+		randSrc = rand.Reader
+	}
+	max := (pub.N.BitLen()+7)/8 - 1
+	if len(plain)+10 > max {
+		return nil, fmt.Errorf("nsl: plaintext too long (%d bytes for %d-bit key)", len(plain), pub.N.BitLen())
+	}
+	padded := make([]byte, 10+len(plain))
+	padded[0] = 0x02
+	if _, err := io.ReadFull(randSrc, padded[1:9]); err != nil {
+		return nil, fmt.Errorf("nsl: pad: %w", err)
+	}
+	padded[9] = 0x00
+	copy(padded[10:], plain)
+	m := new(big.Int).SetBytes(padded)
+	c := new(big.Int).Exp(m, pub.E, pub.N)
+	return c.Bytes(), nil
+}
+
+// decrypt reverses encrypt.
+func (kp *KeyPair) decrypt(cipher []byte) ([]byte, error) {
+	c := new(big.Int).SetBytes(cipher)
+	if c.Cmp(kp.Pub.N) >= 0 {
+		return nil, errors.New("nsl: ciphertext out of range")
+	}
+	m := new(big.Int).Exp(c, kp.d, kp.Pub.N)
+	padded := m.Bytes()
+	// Layout: [0x02, r8 (8 bytes), 0x00, plain]. The leading 0x02 survives
+	// the big.Int round trip because it is non-zero.
+	if len(padded) < 10 || padded[0] != 0x02 || padded[9] != 0x00 {
+		return nil, errors.New("nsl: bad padding")
+	}
+	return padded[10:], nil
+}
+
+// Wire messages. Fields are exported for size accounting by the transport.
+type (
+	// Msg1 is {Na, A}_pkB.
+	Msg1 struct {
+		To     int64 // B, cleartext routing hint
+		Cipher []byte
+	}
+	// Msg2 is {Na, Nb, B}_pkA.
+	Msg2 struct {
+		To     int64 // A
+		Cipher []byte
+	}
+	// Msg3 is {Nb}_pkB.
+	Msg3 struct {
+		To     int64 // B
+		Cipher []byte
+	}
+)
+
+// Directory resolves a party's public key.
+type Directory interface {
+	PublicKey(id int64) (PublicKey, error)
+}
+
+// DirectoryMap is a static Directory.
+type DirectoryMap map[int64]PublicKey
+
+// PublicKey implements Directory.
+func (d DirectoryMap) PublicKey(id int64) (PublicKey, error) {
+	pk, ok := d[id]
+	if !ok {
+		return PublicKey{}, fmt.Errorf("nsl: unknown party %d", id)
+	}
+	return pk, nil
+}
+
+// Errors reported by handshake processing.
+var (
+	ErrProtocol  = errors.New("nsl: protocol violation")
+	ErrNoSession = errors.New("nsl: no handshake in progress")
+)
+
+// Party is one protocol participant. Not safe for concurrent use.
+type Party struct {
+	id      int64
+	kp      *KeyPair
+	dir     Directory
+	randSrc io.Reader
+
+	// initiator state: peer -> Na
+	pendingInit map[int64][]byte
+	// responder state: peer -> (Na, Nb)
+	pendingResp map[int64]*respState
+}
+
+// NewParty creates a protocol participant. randSrc nil means
+// crypto/rand.Reader.
+func NewParty(id int64, kp *KeyPair, dir Directory, randSrc io.Reader) *Party {
+	if randSrc == nil {
+		randSrc = rand.Reader
+	}
+	return &Party{
+		id:          id,
+		kp:          kp,
+		dir:         dir,
+		randSrc:     randSrc,
+		pendingInit: make(map[int64][]byte),
+		pendingResp: make(map[int64]*respState),
+	}
+}
+
+// ID returns the party identifier.
+func (p *Party) ID() int64 { return p.id }
+
+func (p *Party) nonce() ([]byte, error) {
+	n := make([]byte, NonceSize)
+	if _, err := io.ReadFull(p.randSrc, n); err != nil {
+		return nil, fmt.Errorf("nsl: nonce: %w", err)
+	}
+	return n, nil
+}
+
+func sessionKey(na, nb []byte) SessionKey {
+	h := sha256.New()
+	_, _ = h.Write(na)
+	_, _ = h.Write(nb)
+	var k SessionKey
+	copy(k[:], h.Sum(nil))
+	return k
+}
+
+func encodeID(id int64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(id))
+	return b[:]
+}
+
+// Initiate starts a handshake with peer and returns M1 to transmit.
+func (p *Party) Initiate(peer int64) (Msg1, error) {
+	pk, err := p.dir.PublicKey(peer)
+	if err != nil {
+		return Msg1{}, err
+	}
+	na, err := p.nonce()
+	if err != nil {
+		return Msg1{}, err
+	}
+	plain := append(append([]byte(nil), na...), encodeID(p.id)...)
+	c, err := encrypt(pk, plain, p.randSrc)
+	if err != nil {
+		return Msg1{}, err
+	}
+	p.pendingInit[peer] = na
+	return Msg1{To: peer, Cipher: c}, nil
+}
+
+// OnMsg1 processes M1 as responder and returns M2.
+func (p *Party) OnMsg1(m Msg1) (Msg2, error) {
+	plain, err := p.kp.decrypt(m.Cipher)
+	if err != nil {
+		return Msg2{}, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	if len(plain) != NonceSize+8 {
+		return Msg2{}, fmt.Errorf("%w: bad M1 length", ErrProtocol)
+	}
+	na := plain[:NonceSize]
+	peer := int64(binary.BigEndian.Uint64(plain[NonceSize:]))
+	pk, err := p.dir.PublicKey(peer)
+	if err != nil {
+		return Msg2{}, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	nb, err := p.nonce()
+	if err != nil {
+		return Msg2{}, err
+	}
+	plain2 := append(append(append([]byte(nil), na...), nb...), encodeID(p.id)...)
+	c, err := encrypt(pk, plain2, p.randSrc)
+	if err != nil {
+		return Msg2{}, err
+	}
+	p.pendingResp[peer] = &respState{na: na, nb: nb}
+	return Msg2{To: peer, Cipher: c}, nil
+}
+
+// OnMsg2 processes M2 as initiator; on success it returns M3 and the
+// session key. from is the claimed sender, checked against the identity
+// inside the ciphertext (Lowe's fix — without it the classic
+// man-in-the-middle attack works).
+func (p *Party) OnMsg2(from int64, m Msg2) (Msg3, SessionKey, error) {
+	na, ok := p.pendingInit[from]
+	if !ok {
+		return Msg3{}, SessionKey{}, fmt.Errorf("%w: peer %d", ErrNoSession, from)
+	}
+	plain, err := p.kp.decrypt(m.Cipher)
+	if err != nil {
+		return Msg3{}, SessionKey{}, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	if len(plain) != 2*NonceSize+8 {
+		return Msg3{}, SessionKey{}, fmt.Errorf("%w: bad M2 length", ErrProtocol)
+	}
+	gotNa := plain[:NonceSize]
+	nb := plain[NonceSize : 2*NonceSize]
+	claimed := int64(binary.BigEndian.Uint64(plain[2*NonceSize:]))
+	if !bytes.Equal(gotNa, na) {
+		return Msg3{}, SessionKey{}, fmt.Errorf("%w: nonce Na mismatch", ErrProtocol)
+	}
+	if claimed != from {
+		return Msg3{}, SessionKey{}, fmt.Errorf("%w: responder identity %d != %d (Lowe check)", ErrProtocol, claimed, from)
+	}
+	pk, err := p.dir.PublicKey(from)
+	if err != nil {
+		return Msg3{}, SessionKey{}, err
+	}
+	c, err := encrypt(pk, nb, p.randSrc)
+	if err != nil {
+		return Msg3{}, SessionKey{}, err
+	}
+	delete(p.pendingInit, from)
+	return Msg3{To: from, Cipher: c}, sessionKey(na, nb), nil
+}
+
+// OnMsg3 processes M3 as responder; on success it returns the session key.
+func (p *Party) OnMsg3(from int64, m Msg3) (SessionKey, error) {
+	st, ok := p.pendingResp[from]
+	if !ok {
+		return SessionKey{}, fmt.Errorf("%w: peer %d", ErrNoSession, from)
+	}
+	plain, err := p.kp.decrypt(m.Cipher)
+	if err != nil {
+		return SessionKey{}, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	if !bytes.Equal(plain, st.nb) {
+		return SessionKey{}, fmt.Errorf("%w: nonce Nb mismatch", ErrProtocol)
+	}
+	delete(p.pendingResp, from)
+	return sessionKey(st.na, st.nb), nil
+}
+
+// respState is the responder's per-peer handshake memory.
+type respState struct {
+	na, nb []byte
+}

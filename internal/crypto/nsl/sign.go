@@ -1,0 +1,58 @@
+package nsl
+
+import (
+	"crypto/sha256"
+	"errors"
+	"math/big"
+)
+
+// Sign produces an RSA signature over SHA-256(msg) with the party's private
+// key (hash-then-exponentiate; the same simulation-grade caveat as the
+// package's encryption applies). STS beacons are signed this way so any
+// receiver holding the directory can authenticate them.
+func (kp *KeyPair) Sign(msg []byte) []byte {
+	h := hashToModulusN(msg, kp.Pub.N)
+	return new(big.Int).Exp(h, kp.d, kp.Pub.N).Bytes()
+}
+
+// ErrBadSig is returned by Verify for invalid signatures.
+var ErrBadSig = errors.New("nsl: bad signature")
+
+// Verify checks an RSA signature produced by Sign.
+func Verify(pub PublicKey, msg, sig []byte) error {
+	if len(sig) == 0 {
+		return ErrBadSig
+	}
+	s := new(big.Int).SetBytes(sig)
+	if s.Cmp(pub.N) >= 0 {
+		return ErrBadSig
+	}
+	h := hashToModulusN(msg, pub.N)
+	if new(big.Int).Exp(s, pub.E, pub.N).Cmp(h) != 0 {
+		return ErrBadSig
+	}
+	return nil
+}
+
+// SigBytes returns the signature size under pub, for wire accounting.
+func SigBytes(pub PublicKey) int { return (pub.N.BitLen() + 7) / 8 }
+
+// hashToModulusN maps msg into Z_N via counter-mode SHA-256 expansion.
+func hashToModulusN(msg []byte, n *big.Int) *big.Int {
+	need := (n.BitLen() + 7) / 8
+	var out []byte
+	var ctr uint8
+	for len(out) < need {
+		h := sha256.New()
+		_, _ = h.Write([]byte{0x51, ctr})
+		_, _ = h.Write(msg)
+		out = h.Sum(out)
+		ctr++
+	}
+	x := new(big.Int).SetBytes(out[:need])
+	x.Mod(x, n)
+	if x.Sign() == 0 {
+		x.SetInt64(1)
+	}
+	return x
+}

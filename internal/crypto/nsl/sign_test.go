@@ -1,0 +1,63 @@
+package nsl
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSignVerify(t *testing.T) {
+	kp, err := GenerateKeyPair(512, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("beacon: neighbours of node 7")
+	sig := kp.Sign(msg)
+	if err := Verify(kp.Pub, msg, sig); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	kp, err := GenerateKeyPair(512, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("original")
+	sig := kp.Sign(msg)
+	if err := Verify(kp.Pub, []byte("forged"), sig); !errors.Is(err, ErrBadSig) {
+		t.Fatalf("modified message: err = %v, want ErrBadSig", err)
+	}
+	sig[0] ^= 1
+	if err := Verify(kp.Pub, msg, sig); !errors.Is(err, ErrBadSig) {
+		t.Fatalf("modified signature: err = %v, want ErrBadSig", err)
+	}
+	if err := Verify(kp.Pub, msg, nil); !errors.Is(err, ErrBadSig) {
+		t.Fatalf("empty signature: err = %v, want ErrBadSig", err)
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	kp1, err := GenerateKeyPair(512, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp2, err := GenerateKeyPair(512, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("msg")
+	sig := kp1.Sign(msg)
+	if err := Verify(kp2.Pub, msg, sig); !errors.Is(err, ErrBadSig) {
+		t.Fatalf("wrong key: err = %v, want ErrBadSig", err)
+	}
+}
+
+func TestSigBytes(t *testing.T) {
+	kp, err := GenerateKeyPair(512, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SigBytes(kp.Pub); got != 64 {
+		t.Fatalf("SigBytes = %d, want 64 for 512-bit key", got)
+	}
+}

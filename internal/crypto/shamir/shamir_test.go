@@ -1,0 +1,169 @@
+package shamir
+
+import (
+	"crypto/rand"
+	"errors"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// prime257 is a small prime for fast tests.
+var prime257 = big.NewInt(257)
+
+// bigPrime is a 127-bit Mersenne prime.
+var bigPrime = new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 127), big.NewInt(1))
+
+func TestSplitCombineRoundTrip(t *testing.T) {
+	tests := []struct {
+		k, n int
+	}{
+		{0, 1}, {1, 3}, {2, 5}, {3, 10}, {9, 10},
+	}
+	for _, tt := range tests {
+		secret := big.NewInt(12345)
+		shares, err := Split(secret, tt.k, tt.n, bigPrime, rand.Reader)
+		if err != nil {
+			t.Fatalf("Split(k=%d, n=%d): %v", tt.k, tt.n, err)
+		}
+		if len(shares) != tt.n {
+			t.Fatalf("got %d shares, want %d", len(shares), tt.n)
+		}
+		got, err := Combine(shares, tt.k, bigPrime)
+		if err != nil {
+			t.Fatalf("Combine: %v", err)
+		}
+		if got.Cmp(secret) != 0 {
+			t.Fatalf("k=%d n=%d: reconstructed %v, want %v", tt.k, tt.n, got, secret)
+		}
+	}
+}
+
+func TestAnySubsetOfThresholdSizeWorks(t *testing.T) {
+	secret := big.NewInt(987654321)
+	const k, n = 2, 6
+	shares, err := Split(secret, k, n, bigPrime, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Try many random (k+1)-subsets.
+	r := mrand.New(mrand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		perm := r.Perm(n)
+		subset := make([]Share, k+1)
+		for i := 0; i <= k; i++ {
+			subset[i] = shares[perm[i]]
+		}
+		got, err := Combine(subset, k, bigPrime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(secret) != 0 {
+			t.Fatalf("subset %v reconstructed %v, want %v", perm[:k+1], got, secret)
+		}
+	}
+}
+
+func TestTooFewSharesFails(t *testing.T) {
+	shares, err := Split(big.NewInt(42), 3, 5, bigPrime, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Combine(shares[:3], 3, bigPrime); !errors.Is(err, ErrTooFewShares) {
+		t.Fatalf("Combine with k shares err = %v, want ErrTooFewShares", err)
+	}
+	// Duplicated shares do not count as distinct.
+	dup := []Share{shares[0], shares[0], shares[0], shares[0]}
+	if _, err := Combine(dup, 3, bigPrime); !errors.Is(err, ErrTooFewShares) {
+		t.Fatalf("Combine with duplicates err = %v, want ErrTooFewShares", err)
+	}
+}
+
+func TestKSharesRevealNothing(t *testing.T) {
+	// With k shares the secret is information-theoretically hidden: for a
+	// degree-k polynomial, any k points are consistent with EVERY possible
+	// secret. We verify a weaker, testable corollary: combining k shares
+	// plus a forged (k+1)-th share yields a wrong secret almost surely.
+	secret := big.NewInt(777)
+	const k, n = 2, 5
+	shares, err := Split(secret, k, n, bigPrime, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := []Share{shares[0], shares[1], {X: 5, Y: big.NewInt(123456)}}
+	got, err := Combine(forged, k, bigPrime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(secret) == 0 {
+		t.Fatal("forged share reconstructed the true secret (astronomically unlikely)")
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	cases := []struct{ k, n int }{
+		{-1, 3}, {3, 3}, {5, 2}, {0, 0},
+	}
+	for _, c := range cases {
+		if _, err := Split(big.NewInt(1), c.k, c.n, prime257, rand.Reader); !errors.Is(err, ErrThreshold) {
+			t.Errorf("Split(k=%d, n=%d) err = %v, want ErrThreshold", c.k, c.n, err)
+		}
+	}
+	if _, err := Split(big.NewInt(1), 1, 3, big.NewInt(0), rand.Reader); err == nil {
+		t.Error("Split with zero modulus succeeded")
+	}
+}
+
+func TestSecretReducedModulo(t *testing.T) {
+	// Secrets >= mod are shared as secret mod mod.
+	secret := big.NewInt(300) // > 257
+	shares, err := Split(secret, 1, 3, prime257, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Combine(shares, 1, prime257)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Int).Mod(secret, prime257)
+	if got.Cmp(want) != 0 {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// Property: round trip holds for arbitrary secrets and thresholds.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(secretSeed int64, kRaw, extra uint8) bool {
+		k := int(kRaw % 5)
+		n := k + 1 + int(extra%5)
+		secret := new(big.Int).Mod(big.NewInt(secretSeed), bigPrime)
+		if secret.Sign() < 0 {
+			secret.Add(secret, bigPrime)
+		}
+		shares, err := Split(secret, k, n, bigPrime, rand.Reader)
+		if err != nil {
+			return false
+		}
+		got, err := Combine(shares, k, bigPrime)
+		if err != nil {
+			return false
+		}
+		return got.Cmp(secret) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShareIndicesStartAtOne(t *testing.T) {
+	shares, err := Split(big.NewInt(5), 1, 4, prime257, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range shares {
+		if s.X != i+1 {
+			t.Fatalf("share %d has X=%d, want %d", i, s.X, i+1)
+		}
+	}
+}

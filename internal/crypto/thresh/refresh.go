@@ -1,0 +1,88 @@
+package thresh
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/big"
+
+	"innercircle/internal/crypto/shamir"
+)
+
+// Refresher is the proactive-secret-sharing extension §2 of the paper
+// defers to Herzberg et al.: shares are periodically re-randomized so that
+// an adversary must compromise L+1 nodes within a single epoch — shares
+// stolen across epochs do not combine. The group key (and all previously
+// issued combined signatures) remain valid.
+type Refresher interface {
+	// Refresh re-randomizes the shares of a key this dealer dealt. Old
+	// signers' partials stop combining with new ones. The returned slice
+	// has one new signer per original share index.
+	Refresh(gk GroupKey, old []Signer) ([]Signer, error)
+}
+
+var (
+	_ Refresher = (*RSADealer)(nil)
+	_ Refresher = (*SimDealer)(nil)
+)
+
+// Refresh implements Refresher for the threshold RSA scheme
+// (dealer-assisted: the dealer, who retains λ(N), deals a random degree-k
+// polynomial with constant term zero and each new share is
+// s'_i = s_i + z_i mod λ(N); the shared exponent — and thus the public
+// key — is unchanged).
+func (d *RSADealer) Refresh(gk GroupKey, old []Signer) ([]Signer, error) {
+	rk, ok := gk.(*rsaGroupKey)
+	if !ok {
+		return nil, fmt.Errorf("thresh: group key was not dealt by an RSA dealer")
+	}
+	lambda, ok := d.secrets[rk]
+	if !ok {
+		return nil, fmt.Errorf("thresh: this dealer did not deal the given key")
+	}
+	zeroShares, err := shamir.Split(big.NewInt(0), rk.k, rk.n, lambda, d.rand())
+	if err != nil {
+		return nil, fmt.Errorf("thresh: refresh polynomial: %w", err)
+	}
+	out := make([]Signer, len(old))
+	for i, s := range old {
+		rs, ok := s.(*rsaSigner)
+		if !ok || rs.gk != rk {
+			return nil, fmt.Errorf("thresh: signer %d does not belong to this key", i)
+		}
+		z := zeroShares[rs.index-1]
+		sum := new(big.Int).Add(rs.share, z.Y)
+		sum.Mod(sum, lambda)
+		out[i] = &rsaSigner{gk: rk, index: rs.index, share: sum}
+	}
+	rk.epoch++
+	return out, nil
+}
+
+// Refresh implements Refresher for the simulation scheme by re-deriving
+// every share key under a bumped epoch. The group key object is updated in
+// place (it is the shared verification oracle), so stale signers' partials
+// stop verifying.
+func (d *SimDealer) Refresh(gk GroupKey, old []Signer) ([]Signer, error) {
+	sk, ok := gk.(*simGroupKey)
+	if !ok {
+		return nil, fmt.Errorf("thresh: group key was not dealt by a sim dealer")
+	}
+	sk.epoch++
+	out := make([]Signer, len(old))
+	for i, s := range old {
+		ss, ok := s.(*simSigner)
+		if !ok {
+			return nil, fmt.Errorf("thresh: signer %d does not belong to this key", i)
+		}
+		key := simRefreshKey(sk.shareKeys[ss.index], sk.epoch)
+		sk.shareKeys[ss.index] = key
+		out[i] = &simSigner{index: ss.index, key: key}
+	}
+	return out, nil
+}
+
+func simRefreshKey(prev []byte, epoch uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], epoch)
+	return simDerive(prev, epoch, 0)
+}

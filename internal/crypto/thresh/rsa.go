@@ -1,0 +1,261 @@
+package thresh
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"math/big"
+
+	"innercircle/internal/crypto/shamir"
+)
+
+// RSADealer deals Shoup-style threshold RSA keys. The dealer retains the
+// secret modulus totient of every key it deals so it can later run the
+// proactive share refresh (see Refresher).
+type RSADealer struct {
+	// Bits is the modulus size; the paper uses 1024 (ad hoc) and 512
+	// (sensor) bit keys.
+	Bits int
+	// Rand is the entropy source; nil means crypto/rand.Reader.
+	Rand io.Reader
+
+	// secrets maps dealt keys to λ(N), needed for Refresh.
+	secrets map[*rsaGroupKey]*big.Int
+}
+
+func (d *RSADealer) rand() io.Reader {
+	if d.Rand != nil {
+		return d.Rand
+	}
+	return rand.Reader
+}
+
+// Deal implements Dealer. It generates a fresh RSA modulus, shares the
+// private exponent with a degree-k polynomial, and returns the group key
+// and n signers.
+func (d *RSADealer) Deal(k, n int) (GroupKey, []Signer, error) {
+	if k < 0 || n < 1 || k+1 > n {
+		return nil, nil, fmt.Errorf("thresh: invalid threshold k=%d n=%d", k, n)
+	}
+	bits := d.Bits
+	if bits == 0 {
+		bits = 1024
+	}
+	if bits < 128 {
+		return nil, nil, fmt.Errorf("thresh: modulus too small (%d bits)", bits)
+	}
+	one := big.NewInt(1)
+	var p, q, N, lambda *big.Int
+	for {
+		var err error
+		p, err = rand.Prime(d.rand(), bits/2)
+		if err != nil {
+			return nil, nil, fmt.Errorf("thresh: generate prime: %w", err)
+		}
+		q, err = rand.Prime(d.rand(), bits-bits/2)
+		if err != nil {
+			return nil, nil, fmt.Errorf("thresh: generate prime: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		N = new(big.Int).Mul(p, q)
+		pm1 := new(big.Int).Sub(p, one)
+		qm1 := new(big.Int).Sub(q, one)
+		gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
+		lambda = new(big.Int).Mul(pm1, qm1)
+		lambda.Div(lambda, gcd)
+		break
+	}
+	// Public exponent e must be a prime larger than n (so gcd(e, 4Δ²) = 1
+	// with Δ = n!) and coprime to λ(N).
+	e := big.NewInt(65537)
+	for int(e.Int64()) <= n || new(big.Int).GCD(nil, nil, e, lambda).Cmp(one) != 0 {
+		e.Add(e, big.NewInt(2))
+		for !e.ProbablyPrime(32) {
+			e.Add(e, big.NewInt(2))
+		}
+	}
+	dExp := new(big.Int).ModInverse(e, lambda)
+	if dExp == nil {
+		return nil, nil, fmt.Errorf("thresh: e not invertible mod lambda")
+	}
+	shares, err := shamir.Split(dExp, k, n, lambda, d.rand())
+	if err != nil {
+		return nil, nil, fmt.Errorf("thresh: share private exponent: %w", err)
+	}
+	gk := &rsaGroupKey{k: k, n: n, modulus: N, e: e, delta: factorial(n)}
+	if d.secrets == nil {
+		d.secrets = make(map[*rsaGroupKey]*big.Int)
+	}
+	d.secrets[gk] = lambda
+	signers := make([]Signer, n)
+	for i, s := range shares {
+		signers[i] = &rsaSigner{gk: gk, index: s.X, share: s.Y}
+	}
+	return gk, signers, nil
+}
+
+func factorial(n int) *big.Int {
+	f := big.NewInt(1)
+	for i := 2; i <= n; i++ {
+		f.Mul(f, big.NewInt(int64(i)))
+	}
+	return f
+}
+
+// hashToModulus maps msg to an element of Z_N* via SHA-256 expansion.
+func hashToModulus(msg []byte, modulus *big.Int) *big.Int {
+	need := (modulus.BitLen() + 7) / 8
+	var out []byte
+	var ctr uint8
+	for len(out) < need {
+		h := sha256.New()
+		_, _ = h.Write([]byte{ctr})
+		_, _ = h.Write(msg)
+		out = h.Sum(out)
+		ctr++
+	}
+	x := new(big.Int).SetBytes(out[:need])
+	x.Mod(x, modulus)
+	if x.Sign() == 0 {
+		x.SetInt64(1)
+	}
+	return x
+}
+
+type rsaGroupKey struct {
+	k, n    int
+	modulus *big.Int
+	e       *big.Int
+	delta   *big.Int // n!
+	epoch   uint64   // proactive-refresh epoch, diagnostics only
+}
+
+var _ GroupKey = (*rsaGroupKey)(nil)
+
+func (g *rsaGroupKey) Threshold() int { return g.k }
+func (g *rsaGroupKey) Players() int   { return g.n }
+func (g *rsaGroupKey) SigBytes() int  { return (g.modulus.BitLen() + 7) / 8 }
+
+type rsaSigner struct {
+	gk    *rsaGroupKey
+	index int
+	share *big.Int
+}
+
+func (s *rsaSigner) Index() int { return s.index }
+
+// PartialSign computes x_i = H(m)^(2Δ·s_i) mod N.
+func (s *rsaSigner) PartialSign(msg []byte) (Partial, error) {
+	x := hashToModulus(msg, s.gk.modulus)
+	exp := new(big.Int).Lsh(s.gk.delta, 1) // 2Δ
+	exp.Mul(exp, s.share)
+	xi := new(big.Int).Exp(x, exp, s.gk.modulus)
+	return Partial{Index: s.index, Data: xi.Bytes()}, nil
+}
+
+// lagrangeNumerator computes λ^S_{0,i} = Δ · Π_{j∈S, j≠i} j / (j − i),
+// which is an integer because Δ = n! absorbs every denominator.
+func (g *rsaGroupKey) lagrangeNumerator(set []int, i int) *big.Int {
+	num := new(big.Int).Set(g.delta)
+	den := big.NewInt(1)
+	for _, j := range set {
+		if j == i {
+			continue
+		}
+		num.Mul(num, big.NewInt(int64(j)))
+		den.Mul(den, big.NewInt(int64(j-i)))
+	}
+	return num.Div(num, den) // exact by construction
+}
+
+// Combine implements Shoup's combination: w = Π x_i^(2λ_{0,i}) satisfies
+// w^e = H(m)^(4Δ²); with a·4Δ² + b·e = 1 the signature is w^a · H(m)^b.
+func (g *rsaGroupKey) Combine(msg []byte, partials []Partial) (Signature, error) {
+	// Select k+1 distinct candidate partials.
+	seen := make(map[int]bool)
+	var use []Partial
+	for _, p := range partials {
+		if p.Index < 1 || p.Index > g.n || seen[p.Index] || len(p.Data) == 0 {
+			continue
+		}
+		seen[p.Index] = true
+		use = append(use, p)
+		if len(use) == g.k+1 {
+			break
+		}
+	}
+	if len(use) < g.k+1 {
+		return Signature{}, fmt.Errorf("%w: have %d, need %d", ErrTooFewPartials, len(use), g.k+1)
+	}
+	set := make([]int, len(use))
+	for i, p := range use {
+		set[i] = p.Index
+	}
+	x := hashToModulus(msg, g.modulus)
+	w := big.NewInt(1)
+	for _, p := range use {
+		xi := new(big.Int).SetBytes(p.Data)
+		lam := g.lagrangeNumerator(set, p.Index)
+		exp := new(big.Int).Lsh(lam, 1) // 2λ
+		var t *big.Int
+		if exp.Sign() < 0 {
+			inv := new(big.Int).ModInverse(xi, g.modulus)
+			if inv == nil {
+				return Signature{}, fmt.Errorf("%w: partial %d not invertible", ErrBadPartial, p.Index)
+			}
+			t = new(big.Int).Exp(inv, new(big.Int).Neg(exp), g.modulus)
+		} else {
+			t = new(big.Int).Exp(xi, exp, g.modulus)
+		}
+		w.Mul(w, t)
+		w.Mod(w, g.modulus)
+	}
+	// w^e = x^(4Δ²); find a, b with a·4Δ² + b·e = 1.
+	fourDeltaSq := new(big.Int).Mul(g.delta, g.delta)
+	fourDeltaSq.Lsh(fourDeltaSq, 2)
+	a := new(big.Int)
+	b := new(big.Int)
+	gcd := new(big.Int).GCD(a, b, fourDeltaSq, g.e)
+	if gcd.Cmp(big.NewInt(1)) != 0 {
+		return Signature{}, fmt.Errorf("thresh: gcd(4Δ², e) != 1 (e too small for n)")
+	}
+	sig := new(big.Int).Mul(powSigned(w, a, g.modulus), powSigned(x, b, g.modulus))
+	sig.Mod(sig, g.modulus)
+	s := Signature{Data: sig.Bytes()}
+	if err := g.Verify(msg, s); err != nil {
+		return Signature{}, fmt.Errorf("%w: combined signature invalid (corrupt partial among %v)", ErrBadPartial, set)
+	}
+	return s, nil
+}
+
+// powSigned computes base^exp mod m for possibly negative exp.
+func powSigned(base, exp, m *big.Int) *big.Int {
+	if exp.Sign() >= 0 {
+		return new(big.Int).Exp(base, exp, m)
+	}
+	inv := new(big.Int).ModInverse(base, m)
+	if inv == nil {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Exp(inv, new(big.Int).Neg(exp), m)
+}
+
+// Verify checks sig^e == H(m) mod N — ordinary RSA verification, exactly
+// what a remote recipient of an agreed message performs.
+func (g *rsaGroupKey) Verify(msg []byte, sig Signature) error {
+	if len(sig.Data) == 0 {
+		return ErrBadSignature
+	}
+	s := new(big.Int).SetBytes(sig.Data)
+	if s.Cmp(g.modulus) >= 0 {
+		return ErrBadSignature
+	}
+	x := hashToModulus(msg, g.modulus)
+	if new(big.Int).Exp(s, g.e, g.modulus).Cmp(x) != 0 {
+		return ErrBadSignature
+	}
+	return nil
+}

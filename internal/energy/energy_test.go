@@ -1,0 +1,66 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"innercircle/internal/sim"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestIdleOnlyConsumption(t *testing.T) {
+	m := NewMeter(NS2Default())
+	// 300 s idle at 35 mW = 10.5 J.
+	if got := m.Consumed(300); !almostEqual(got, 10.5) {
+		t.Fatalf("Consumed(300) = %v, want 10.5", got)
+	}
+}
+
+func TestTxRxAccounting(t *testing.T) {
+	m := NewMeter(NS2Default())
+	m.AddTx(10) // 10 s tx: (0.660-0.035)*10 = 6.25 J extra
+	m.AddRx(20) // 20 s rx: (0.395-0.035)*20 = 7.2 J extra
+	want := 0.035*100 + 6.25 + 7.2
+	if got := m.Consumed(100); !almostEqual(got, want) {
+		t.Fatalf("Consumed = %v, want %v", got, want)
+	}
+	if m.TxTime() != 10 || m.RxTime() != 20 {
+		t.Fatalf("TxTime/RxTime = %v/%v, want 10/20", m.TxTime(), m.RxTime())
+	}
+}
+
+func TestNegativeDurationsIgnored(t *testing.T) {
+	m := NewMeter(NS2Default())
+	m.AddTx(-5)
+	m.AddRx(-5)
+	if got := m.Consumed(-1); got != 0 {
+		t.Fatalf("Consumed with negative inputs = %v, want 0", got)
+	}
+}
+
+func TestConsumptionMonotoneInActivity(t *testing.T) {
+	f := func(txA, txB, rx uint16) bool {
+		a := NewMeter(NS2Default())
+		b := NewMeter(NS2Default())
+		a.AddTx(sim.Duration(txA))
+		b.AddTx(sim.Duration(txA) + sim.Duration(txB))
+		a.AddRx(sim.Duration(rx))
+		b.AddRx(sim.Duration(rx))
+		return b.Consumed(1e6) >= a.Consumed(1e6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxCostsMoreThanRx(t *testing.T) {
+	tx := NewMeter(NS2Default())
+	rx := NewMeter(NS2Default())
+	tx.AddTx(50)
+	rx.AddRx(50)
+	if tx.Consumed(100) <= rx.Consumed(100) {
+		t.Fatal("transmitting should cost more than receiving for equal time")
+	}
+}

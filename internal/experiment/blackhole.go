@@ -1,0 +1,257 @@
+// Package experiment contains the per-figure harnesses that regenerate the
+// paper's evaluation: workload generators, parameter sweeps, metric
+// collection, and the row printers behind every benchmark in
+// bench_test.go. See DESIGN.md §3 for the experiment index.
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"innercircle/internal/aodv"
+	"innercircle/internal/energy"
+	"innercircle/internal/geo"
+	"innercircle/internal/link"
+	"innercircle/internal/mac"
+	"innercircle/internal/mobility"
+	"innercircle/internal/node"
+	"innercircle/internal/radio"
+	"innercircle/internal/sim"
+	"innercircle/internal/stats"
+	"innercircle/internal/sts"
+	"innercircle/internal/trace"
+	"innercircle/internal/vote"
+)
+
+// BlackholeConfig parameterizes one Fig. 7 run. Defaults (via
+// PaperBlackholeConfig) come from the Fig. 7 simulation-parameter box.
+type BlackholeConfig struct {
+	Nodes       int     // 50
+	Region      float64 // 1000 m square
+	Speed       float64 // 10 m/s random waypoint
+	Pause       sim.Duration
+	Connections int     // 10 CBR connections
+	Rate        float64 // 4 packets/s
+	PacketBytes int     // 512
+	SimTime     sim.Time
+	TrafficFrom sim.Time // CBR start (lets STS converge)
+	Malicious   int
+	// GrayProb, when positive, makes the malicious nodes gray holes that
+	// misbehave with this probability per opportunity instead of always.
+	GrayProb float64
+	IC       bool
+	L        int
+	Seed     int64
+	// Tracer, when non-nil, taps all wire traffic (slower; for debugging
+	// and the icsim tool).
+	Tracer *trace.Tracer
+}
+
+// PaperBlackholeConfig returns the Fig. 7 parameter box.
+func PaperBlackholeConfig() BlackholeConfig {
+	return BlackholeConfig{
+		Nodes:       50,
+		Region:      1000,
+		Speed:       10,
+		Pause:       0,
+		Connections: 10,
+		Rate:        4,
+		PacketBytes: 512,
+		SimTime:     300,
+		TrafficFrom: 5,
+		IC:          false,
+		L:           1,
+	}
+}
+
+// BlackholeResult is the outcome of one run.
+type BlackholeResult struct {
+	Sent          int
+	Received      int
+	Throughput    float64 // received/sent, in percent
+	EnergyPerNode float64 // joules
+}
+
+// RunBlackhole executes one Fig. 7 simulation run.
+func RunBlackhole(cfg BlackholeConfig) (BlackholeResult, error) {
+	if cfg.Nodes < 4 {
+		return BlackholeResult{}, fmt.Errorf("experiment: need at least 4 nodes")
+	}
+	region := geo.Square(cfg.Region)
+	seedRNG := sim.NewRNG(cfg.Seed)
+	placeRNG := seedRNG.Split("placement")
+	positions := mobility.UniformPlacement(region, cfg.Nodes, placeRNG)
+
+	stsCfg := sts.Config{}
+	voteCfg := vote.Config{}
+	if cfg.IC {
+		stsCfg = sts.Config{
+			Period:          0.9,
+			Delta:           2, // ∆STS from the Fig. 7 box
+			Authenticate:    true,
+			Handshake:       false, // keyed-MAC beacons for sweep scale
+			BeaconBaseBytes: 28,
+		}
+		voteCfg = vote.Config{Mode: vote.Deterministic, L: cfg.L, RoundTimeout: 0.15, Retries: 2}
+	}
+
+	routers := make([]*aodv.Router, cfg.Nodes)
+	adapters := make([]*aodv.ICAdapter, cfg.Nodes)
+	received := 0
+
+	ncfg := node.Config{
+		N:      cfg.Nodes,
+		Seed:   cfg.Seed,
+		Radio:  radio.Default80211(),
+		MAC:    mac.Default80211(),
+		Energy: energy.NS2Default(),
+		Mobility: func(i int, rng *sim.RNG) mobility.Model {
+			return mobility.NewWaypoint(mobility.WaypointConfig{
+				Region:   region,
+				MinSpeed: cfg.Speed,
+				MaxSpeed: cfg.Speed,
+				Pause:    cfg.Pause,
+			}, positions[i], rng)
+		},
+		IC:           cfg.IC,
+		STS:          stsCfg,
+		Vote:         voteCfg,
+		MaxL:         max(2, cfg.L),
+		SigWireBytes: 128, // 1024-bit keys per the Fig. 7 box
+		Tracer:       cfg.Tracer,
+	}
+	buildRouter := func(nd *node.Node) *aodv.Router {
+		r, err := aodv.New(aodv.DefaultConfig(), aodv.Deps{
+			ID: nd.ID, K: nd.K, Link: nd.Link, RNG: nd.RNG.Split("aodv"),
+		})
+		if err != nil {
+			panic(err) // static config; cannot fail
+		}
+		routers[nd.Index] = r
+		r.OnDeliver(func(aodv.Data) { received++ })
+		nd.Handle(r.HandleEnv)
+		return r
+	}
+	if cfg.IC {
+		ncfg.Callbacks = func(nd *node.Node) vote.Callbacks {
+			r := buildRouter(nd)
+			adapter, cbs := aodv.NewICAdapter(nd.ID, r, nd.Intercept)
+			adapters[nd.Index] = adapter
+			return cbs
+		}
+	}
+
+	net, err := node.Build(ncfg)
+	if err != nil {
+		return BlackholeResult{}, fmt.Errorf("experiment: build: %w", err)
+	}
+	if cfg.IC {
+		for i, nd := range net.Nodes {
+			adapters[i].Bind(nd.Vote)
+			nd.Intercept.SetVerifier(adapters[i].Verifier())
+		}
+	} else {
+		for _, nd := range net.Nodes {
+			buildRouter(nd)
+		}
+	}
+	net.StartSTS()
+
+	// Traffic: pick connection endpoints, then malicious nodes from the
+	// remaining population (a black hole that is itself an endpoint would
+	// trivially zero its own connection).
+	trafRNG := seedRNG.Split("traffic")
+	perm := trafRNG.Perm(cfg.Nodes)
+	if cfg.Connections*2+cfg.Malicious > cfg.Nodes {
+		return BlackholeResult{}, fmt.Errorf("experiment: %d nodes cannot host %d connections + %d attackers",
+			cfg.Nodes, cfg.Connections, cfg.Malicious)
+	}
+	type conn struct{ src, dst int }
+	conns := make([]conn, cfg.Connections)
+	for i := range conns {
+		conns[i] = conn{src: perm[2*i], dst: perm[2*i+1]}
+	}
+	for i := 0; i < cfg.Malicious; i++ {
+		r := routers[perm[cfg.Connections*2+i]]
+		if cfg.GrayProb > 0 {
+			r.SetGrayHole(cfg.GrayProb, seedRNG.SplitN("gray", i))
+		} else {
+			r.SetBlackHole(true)
+		}
+	}
+
+	// CBR generators.
+	sent := 0
+	interval := sim.Duration(1 / cfg.Rate)
+	for ci, c := range conns {
+		c := c
+		start := cfg.TrafficFrom + trafRNG.Jitter(interval)
+		var tick func()
+		seq := 0
+		tick = func() {
+			if net.K.Now() >= cfg.SimTime {
+				return
+			}
+			sent++
+			seq++
+			_ = routers[c.src].Send(link.NodeID(c.dst), fmt.Sprintf("c%d-%d", ci, seq), cfg.PacketBytes)
+			net.K.MustSchedule(interval, tick)
+		}
+		net.K.MustSchedule(start, tick)
+	}
+
+	if err := net.Run(cfg.SimTime); err != nil {
+		return BlackholeResult{}, fmt.Errorf("experiment: run: %w", err)
+	}
+
+	res := BlackholeResult{Sent: sent, Received: received}
+	if sent > 0 {
+		res.Throughput = 100 * float64(received) / float64(sent)
+	}
+	res.EnergyPerNode = net.TotalEnergy() / float64(cfg.Nodes)
+	return res, nil
+}
+
+// BlackholeSweep runs the full Fig. 7 sweep: configurations {No IC,
+// IC L=1, IC L=2} across malicious-node counts, repeated runs times, and
+// returns the throughput (Fig. 7a) and energy (Fig. 7b) tables.
+func BlackholeSweep(base BlackholeConfig, maliciousCounts []int, levels []int, runs int, progress io.Writer) (throughput, energyTbl *stats.Table, err error) {
+	throughput = stats.NewTable("Fig. 7(a) Network throughput [%]", "config \\ #malicious")
+	energyTbl = stats.NewTable("Fig. 7(b) Energy consumption [J/node]", "config \\ #malicious")
+
+	type rowSpec struct {
+		label string
+		ic    bool
+		level int
+	}
+	rows := []rowSpec{{label: "No IC"}}
+	for _, l := range levels {
+		rows = append(rows, rowSpec{label: fmt.Sprintf("IC, L=%d", l), ic: true, level: l})
+	}
+	for _, row := range rows {
+		for _, m := range maliciousCounts {
+			for run := 0; run < runs; run++ {
+				cfg := base
+				cfg.IC = row.ic
+				cfg.L = row.level
+				if cfg.L == 0 {
+					cfg.L = 1
+				}
+				cfg.Malicious = m
+				cfg.Seed = base.Seed + int64(1000*m+run)
+				res, err := RunBlackhole(cfg)
+				if err != nil {
+					return nil, nil, err
+				}
+				col := fmt.Sprintf("%d", m)
+				throughput.Add(row.label, col, res.Throughput)
+				energyTbl.Add(row.label, col, res.EnergyPerNode)
+				if progress != nil {
+					fmt.Fprintf(progress, "%s malicious=%d run=%d: throughput=%.1f%% energy=%.2f J\n",
+						row.label, m, run, res.Throughput, res.EnergyPerNode)
+				}
+			}
+		}
+	}
+	return throughput, energyTbl, nil
+}

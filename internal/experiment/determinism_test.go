@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"testing"
+
+	"innercircle/internal/sensor"
+)
+
+// TestBlackholeDeterministic pins DESIGN.md §7: two runs with the same
+// seed produce identical results, and a different seed produces (almost
+// surely) different ones.
+func TestBlackholeDeterministic(t *testing.T) {
+	cfg := smallBlackhole()
+	cfg.Malicious = 2
+	cfg.IC = true
+	cfg.L = 1
+	a, err := RunBlackhole(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBlackhole(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	cfg.Seed++
+	c, err := RunBlackhole(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different seeds produced identical results (suspicious)")
+	}
+}
+
+// TestSensorDeterministic is the same pin for the sensor scenario,
+// including the statistical-voting and fusion paths.
+func TestSensorDeterministic(t *testing.T) {
+	cfg := PaperSensorConfig()
+	cfg.Seed = 9
+	cfg.IC = true
+	cfg.L = 4
+	cfg.Fault = sensor.FaultInterference
+	a, err := RunSensor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSensor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,645 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"innercircle/internal/diffusion"
+	"innercircle/internal/energy"
+	"innercircle/internal/fusion"
+	"innercircle/internal/geo"
+	"innercircle/internal/link"
+	"innercircle/internal/mac"
+	"innercircle/internal/mobility"
+	"innercircle/internal/node"
+	"innercircle/internal/radio"
+	"innercircle/internal/sensor"
+	"innercircle/internal/sim"
+	"innercircle/internal/stats"
+	"innercircle/internal/sts"
+	"innercircle/internal/vote"
+
+	"innercircle/internal/crypto/nsl"
+)
+
+// SensorConfig parameterizes one Fig. 8 run. Node 0 is the base station at
+// the region's centre; the remaining Nodes-1 sensors sit on a jittered
+// grid.
+type SensorConfig struct {
+	Nodes          int     // 100 (1 base + 99 sensors)
+	Region         float64 // 200 m square
+	Range          float64 // 40 m
+	SimTime        sim.Time
+	SensePeriod    sim.Duration // 5 s, synchronized epochs
+	Lambda         float64      // 6.635
+	Model          sensor.SignalModel
+	TargetStart    sim.Time     // first target onset (50 s)
+	TargetPeriod   sim.Duration // 100 s
+	TargetDuration sim.Duration // 25 s
+	NoTarget       bool         // Fig. 8(d): run without any target
+	Faulty         int
+	Fault          sensor.FaultKind
+	FaultParams    sensor.FaultParams
+	IC             bool
+	L              int
+	Eta            float64 // FT-cluster threshold (5)
+	// Fusion selects the statistical fusion algorithm (ablation A3 in
+	// situ); default FusionCluster.
+	Fusion FusionAlg
+	// UniformPlacement scatters sensors uniformly instead of on the
+	// default jittered grid. Uniform deployments have thin patches, which
+	// matters for the weak-signal miss-alarm results (§5.2).
+	UniformPlacement bool
+	Seed             int64
+}
+
+// FusionAlg selects the fault-tolerant fusion used by statistical voting.
+type FusionAlg int
+
+// Fusion algorithms.
+const (
+	// FusionCluster is the paper's FT-cluster algorithm (default).
+	FusionCluster FusionAlg = iota
+	// FusionMean is the Dolev-style fault-tolerant mean baseline.
+	FusionMean
+	// FusionNaive averages everything (no fault tolerance).
+	FusionNaive
+)
+
+// PaperSensorConfig returns the Fig. 8 parameter box.
+func PaperSensorConfig() SensorConfig {
+	return SensorConfig{
+		Nodes:          100,
+		Region:         200,
+		Range:          40,
+		SimTime:        200,
+		SensePeriod:    5,
+		Lambda:         sensor.NeymanPearsonLambda,
+		Model:          sensor.Paper(),
+		TargetStart:    50,
+		TargetPeriod:   100,
+		TargetDuration: 25,
+		Faulty:         10,
+		Fault:          sensor.FaultNone,
+		FaultParams:    sensor.PaperFaults(),
+		L:              3,
+		Eta:            5,
+	}
+}
+
+// SensorResult is the outcome of one run.
+type SensorResult struct {
+	Targets          int
+	Missed           int
+	MissAlarm        float64 // fraction of targets never reported at base
+	FalseAlarmProb   float64 // spurious notifications per sensor-epoch, percent
+	EnergyPerNode    float64 // joules over the whole run
+	TrafficEnergy    float64 // joules minus the common idle floor
+	DetectionLatency float64 // seconds, mean over detected targets
+	LocalizationErr  float64 // metres, mean over detected targets
+	Notifications    int     // total notifications the base accepted
+}
+
+// notifMsg wraps an encoded notification for transport (the centralized
+// solution's raw report).
+type notifMsg struct {
+	Data []byte
+}
+
+// Size implements link.Message.
+func (m notifMsg) Size() int { return len(m.Data) }
+
+// agreedWrap carries a voted agreed message through diffusion.
+type agreedWrap struct {
+	M vote.AgreedMsg
+}
+
+// Size implements link.Message.
+func (w agreedWrap) Size() int { return w.M.Size() }
+
+// sensorKeysOnce caches the 100-node RSA key set across runs: key material
+// does not influence traffic, and generating it dominates run setup
+// otherwise.
+var (
+	sensorKeysOnce sync.Once
+	sensorKeys     []*nsl.KeyPair
+	sensorKeysErr  error
+)
+
+func cachedSensorKeys(n int) ([]*nsl.KeyPair, error) {
+	sensorKeysOnce.Do(func() {
+		sensorKeys, sensorKeysErr = node.GenerateKeySet(n, 512)
+	})
+	if sensorKeysErr != nil {
+		return nil, sensorKeysErr
+	}
+	if len(sensorKeys) < n {
+		return nil, fmt.Errorf("experiment: cached key set has %d keys, need %d", len(sensorKeys), n)
+	}
+	return sensorKeys[:n], nil
+}
+
+// sensorApp is the per-node application state for the sensor scenario.
+type sensorApp struct {
+	nd      *node.Node
+	dev     *sensor.Device
+	diff    *diffusion.Service
+	cfg     *SensorConfig
+	epoch   int64 // current sensing epoch index
+	reading sensor.Reading
+	// covered marks epochs for which this node already participates in an
+	// inner-circle agreement (as voter or member), suppressing its own
+	// duplicate proposal.
+	covered map[int64]bool
+	propose *sim.Timer
+}
+
+// RunSensor executes one Fig. 8 simulation run.
+func RunSensor(cfg SensorConfig) (SensorResult, error) {
+	if cfg.Nodes < 10 {
+		return SensorResult{}, fmt.Errorf("experiment: need at least 10 nodes")
+	}
+	region := geo.Square(cfg.Region)
+	seedRNG := sim.NewRNG(cfg.Seed)
+
+	// Placement: base at the centre, sensors on a jittered grid (or
+	// scattered uniformly).
+	positions := make([]geo.Point, cfg.Nodes)
+	positions[0] = region.Center()
+	var sensorsPos []geo.Point
+	if cfg.UniformPlacement {
+		sensorsPos = mobility.UniformPlacement(region, cfg.Nodes-1, seedRNG.Split("placement"))
+	} else {
+		sensorsPos = mobility.GridPlacement(region, cfg.Nodes-1, cfg.Region/50, seedRNG.Split("placement"))
+	}
+	copy(positions[1:], sensorsPos)
+
+	// Targets. Onset is uniformly random within a sensing period, so the
+	// first post-onset sensing epoch lags the target by U(0, SensePeriod)
+	// — the sampling-phase component of detection latency.
+	var targets []sensor.Target
+	if !cfg.NoTarget {
+		tgtRNG := seedRNG.Split("targets")
+		for start := cfg.TargetStart; start+cfg.TargetDuration <= cfg.SimTime; start += cfg.TargetPeriod {
+			onset := start + tgtRNG.Jitter(cfg.SensePeriod)
+			targets = append(targets, sensor.Target{
+				Pos: geo.Point{
+					X: tgtRNG.Uniform(0.2*cfg.Region, 0.8*cfg.Region),
+					Y: tgtRNG.Uniform(0.2*cfg.Region, 0.8*cfg.Region),
+				},
+				Start: onset,
+				End:   onset + cfg.TargetDuration,
+			})
+		}
+	}
+
+	stsCfg := sts.Config{}
+	voteCfg := vote.Config{}
+	var keys []*nsl.KeyPair
+	if cfg.IC {
+		stsCfg = sts.Config{
+			Period:          45, // τ < ∆STS/2 with ∆STS = 100 s (Fig. 8 box)
+			Delta:           100,
+			Authenticate:    true,
+			Handshake:       false,
+			BeaconBaseBytes: 28,
+		}
+		voteCfg = vote.Config{Mode: vote.Statistical, L: cfg.L, RoundTimeout: 0.5, Retries: 1}
+		var err error
+		keys, err = cachedSensorKeys(cfg.Nodes)
+		if err != nil {
+			return SensorResult{}, err
+		}
+	}
+
+	apps := make([]*sensorApp, cfg.Nodes)
+	fuseFn := makeSensorFuse(cfg)
+
+	ncfg := node.Config{
+		N:      cfg.Nodes,
+		Seed:   cfg.Seed,
+		Radio:  radio.Params{Range: cfg.Range, Bitrate: 2e6, PropSpeed: 3e8},
+		MAC:    mac.Default80211(),
+		Energy: energy.NS2Default(),
+		Mobility: func(i int, _ *sim.RNG) mobility.Model {
+			return mobility.Static(positions[i])
+		},
+		IC:           cfg.IC,
+		STS:          stsCfg,
+		Vote:         voteCfg,
+		MaxL:         max(cfg.L, 2),
+		Keys:         keys,
+		SigWireBytes: 64, // 512-bit keys per the Fig. 8 box
+	}
+	if cfg.IC {
+		ncfg.Callbacks = func(nd *node.Node) vote.Callbacks {
+			app := &sensorApp{nd: nd, cfg: &cfg, covered: make(map[int64]bool)}
+			apps[nd.Index] = app
+			return vote.Callbacks{
+				LocalValue: app.localValue,
+				Fuse:       fuseFn,
+				OnAgreed:   app.onAgreed,
+			}
+		}
+	}
+	net, err := node.Build(ncfg)
+	if err != nil {
+		return SensorResult{}, fmt.Errorf("experiment: build: %w", err)
+	}
+
+	// Diffusion + sensing devices.
+	// Exploratory-flood data dissemination (classic directed diffusion's
+	// first phase) over an unacknowledged broadcast MAC: both
+	// configurations use the same substrate; the inner-circle solution
+	// simply injects far fewer messages into it.
+	diffCfg := diffusion.Config{InterestPeriod: 20, GradientTimeout: 60, Unreliable: true, FloodData: true}
+	base := struct {
+		notifs    []baseNotif
+		perTarget map[int][]baseNotif
+	}{perTarget: make(map[int][]baseNotif)}
+
+	for i, nd := range net.Nodes {
+		ds, err := diffusion.New(diffCfg, diffusion.Deps{
+			ID: nd.ID, K: nd.K, Link: nd.Link, RNG: nd.RNG.Split("diffusion"),
+		})
+		if err != nil {
+			return SensorResult{}, err
+		}
+		nd.Handle(ds.HandleEnv)
+		if apps[i] == nil { // No-IC path (IC callbacks already made one)
+			apps[i] = &sensorApp{nd: nd, cfg: &cfg, covered: make(map[int64]bool)}
+		}
+		apps[i].diff = ds
+		if i == 0 {
+			ds.SetSink(true)
+		} else {
+			apps[i].dev = sensor.NewDevice(cfg.Model, positions[i], cfg.Lambda, nd.RNG.Split("sensor"))
+		}
+	}
+
+	// Fault injection: Faulty sensors chosen among indices 1..Nodes-1.
+	faultRNG := seedRNG.Split("faults")
+	if cfg.Fault != sensor.FaultNone {
+		perm := faultRNG.Perm(cfg.Nodes - 1)
+		for i := 0; i < cfg.Faulty && i < len(perm); i++ {
+			apps[perm[i]+1].dev.InjectFault(cfg.Fault, cfg.FaultParams, region)
+		}
+	}
+
+	// Base-station bookkeeping.
+	classify := func(at sim.Time) int {
+		// Returns the target index whose window (plus in-flight slack)
+		// covers at, or -1 for a spurious notification.
+		const slack = 5
+		for ti, tg := range targets {
+			if at >= tg.Start && at < tg.End+slack {
+				return ti
+			}
+		}
+		return -1
+	}
+	baseNode := net.Nodes[0]
+	baseDiff := apps[0].diff
+	baseDiff.OnDeliver(func(src link.NodeID, hops int, payload link.Message) {
+		now := net.K.Now()
+		var n sensor.Notification
+		switch m := payload.(type) {
+		case notifMsg:
+			if cfg.IC {
+				return // raw notifications are not accepted in IC mode
+			}
+			d, err := sensor.DecodeNotification(m.Data)
+			if err != nil {
+				return
+			}
+			n = d
+		case agreedWrap:
+			if !cfg.IC {
+				return
+			}
+			if baseNode.Vote.VerifyAgreed(m.M) != nil {
+				return // remote signature check failed
+			}
+			d, err := sensor.DecodeNotification(m.M.Value)
+			if err != nil {
+				return
+			}
+			n = d
+		default:
+			return
+		}
+		bn := baseNotif{at: now, notif: n, target: classify(now)}
+		base.notifs = append(base.notifs, bn)
+		if bn.target >= 0 {
+			base.perTarget[bn.target] = append(base.perTarget[bn.target], bn)
+		}
+	})
+
+	// Start services. STS starts are jittered to avoid a synchronized
+	// beacon collision storm at t=0.
+	startRNG := seedRNG.Split("starts")
+	for _, nd := range net.Nodes {
+		if nd.STS != nil {
+			svc := nd.STS
+			net.K.MustSchedule(startRNG.Jitter(2), svc.Start)
+		}
+	}
+	net.K.MustSchedule(0.1, func() { baseDiff.Start() })
+
+	// Sensing epochs: synchronized at multiples of SensePeriod (duty-
+	// cycled network).
+	activeTarget := func(at sim.Time) *geo.Point {
+		for _, tg := range targets {
+			if tg.ActiveAt(at) {
+				return &tg.Pos
+			}
+		}
+		return nil
+	}
+	var epochFn func()
+	epochIdx := int64(0)
+	epochFn = func() {
+		now := net.K.Now()
+		if now >= cfg.SimTime {
+			return
+		}
+		epochIdx++
+		tpos := activeTarget(now)
+		for i := 1; i < cfg.Nodes; i++ {
+			apps[i].sense(epochIdx, tpos)
+		}
+		net.K.MustSchedule(cfg.SensePeriod, epochFn)
+	}
+	net.K.MustSchedule(cfg.SensePeriod, epochFn)
+
+	if err := net.Run(cfg.SimTime); err != nil {
+		return SensorResult{}, fmt.Errorf("experiment: run: %w", err)
+	}
+
+	// Metrics.
+	res := SensorResult{Targets: len(targets), Notifications: len(base.notifs)}
+	var latSum, locSum float64
+	detected := 0
+	for ti, tg := range targets {
+		ns := base.perTarget[ti]
+		if len(ns) == 0 {
+			res.Missed++
+			continue
+		}
+		detected++
+		latSum += float64(ns[0].at - tg.Start)
+		var pts []geo.Point
+		for _, bn := range ns {
+			pts = append(pts, bn.notif.Pos)
+		}
+		locSum += geo.Centroid(pts).Dist(tg.Pos)
+	}
+	if len(targets) > 0 {
+		res.MissAlarm = float64(res.Missed) / float64(len(targets))
+	}
+	if detected > 0 {
+		res.DetectionLatency = latSum / float64(detected)
+		res.LocalizationErr = locSum / float64(detected)
+	}
+	spurious := 0
+	for _, bn := range base.notifs {
+		if bn.target < 0 {
+			spurious++
+		}
+	}
+	// Per sensor-epoch false alarm probability (percent): spurious
+	// notifications accepted at the base over sensor-epochs without an
+	// active target.
+	noTargetEpochs := 0
+	for e := int64(1); ; e++ {
+		at := sim.Time(e) * cfg.SensePeriod
+		if at >= cfg.SimTime {
+			break
+		}
+		if activeTarget(at) == nil {
+			noTargetEpochs++
+		}
+	}
+	if noTargetEpochs > 0 {
+		res.FalseAlarmProb = 100 * float64(spurious) / float64(noTargetEpochs*(cfg.Nodes-1))
+	}
+	res.EnergyPerNode = net.TotalEnergy() / float64(cfg.Nodes)
+	res.TrafficEnergy = res.EnergyPerNode - energy.NS2Default().IdlePower*float64(cfg.SimTime)
+	return res, nil
+}
+
+type baseNotif struct {
+	at     sim.Time
+	notif  sensor.Notification
+	target int
+}
+
+// sense runs one sensing epoch at a sensor node.
+func (a *sensorApp) sense(epoch int64, target *geo.Point) {
+	a.epoch = epoch
+	a.reading = a.dev.Sample(target)
+	if !a.reading.Detected {
+		return
+	}
+	n := sensor.Notification{
+		Time:   a.nd.K.Now(),
+		Energy: a.reading.Energy,
+		Pos:    a.dev.ReportedPos(),
+	}
+	if !a.cfg.IC {
+		// Centralized solution: raw notification straight to the base.
+		_ = a.diff.Send(notifMsg{Data: n.Encode()})
+		return
+	}
+	// Inner-circle solution: propose with a small jitter; drop the
+	// proposal if a neighbouring circle covers this epoch first
+	// (duplicate suppression).
+	if a.covered[epoch] {
+		return
+	}
+	e := epoch
+	if a.propose == nil {
+		a.propose = sim.NewTimer(a.nd.K, func() {})
+	}
+	a.propose.Stop()
+	jitter := a.nd.RNG.Jitter(1.0)
+	a.propose = sim.NewTimer(a.nd.K, func() {
+		if a.covered[e] || a.epoch != e {
+			return
+		}
+		_ = a.nd.Vote.Propose(n.Encode())
+	})
+	a.propose.Reset(jitter)
+}
+
+// localValue answers a statistical-voting solicit: contribute this node's
+// reading when it detected a target in the current epoch.
+func (a *sensorApp) localValue(center link.NodeID, meta []byte) ([]byte, bool) {
+	if a.dev == nil || !a.reading.Detected {
+		return nil, false
+	}
+	// Participating in a neighbour's round covers this epoch: suppress our
+	// own duplicate proposal.
+	a.covered[a.epoch] = true
+	n := sensor.Notification{
+		Time:   a.nd.K.Now(),
+		Energy: a.reading.Energy,
+		Pos:    a.dev.ReportedPos(),
+	}
+	return n.Encode(), true
+}
+
+// onAgreed runs at inner-circle members when a round completes: members
+// suppress their own proposals, and the center forwards the agreed message
+// to the base station.
+func (a *sensorApp) onAgreed(m vote.AgreedMsg) {
+	a.covered[a.epoch] = true
+	if m.Center == a.nd.ID && a.diff != nil {
+		_ = a.diff.Send(agreedWrap{M: m})
+	}
+}
+
+// makeSensorFuse builds the statistical fusion function of §5.2: per-field
+// FT-cluster fusion of the notifications, with the target position derived
+// by trilateration over all anchor triples and filtered by the FT-cluster
+// algorithm (η from the config).
+func makeSensorFuse(cfg SensorConfig) func(center link.NodeID, values [][]byte) []byte {
+	return func(center link.NodeID, values [][]byte) []byte {
+		var times, energies []fusion.Vec
+		var anchors []geo.Point
+		var dists []float64
+		for _, v := range values {
+			n, err := sensor.DecodeNotification(v)
+			if err != nil {
+				continue
+			}
+			times = append(times, fusion.V1(float64(n.Time)))
+			energies = append(energies, fusion.V1(n.Energy))
+			if d, err := cfg.Model.DistanceFor(n.Energy); err == nil {
+				anchors = append(anchors, n.Pos)
+				dists = append(dists, d)
+			}
+		}
+		if len(times) == 0 {
+			return nil
+		}
+		fusedTime := fuse1(cfg.Fusion, times, 2*float64(cfg.SensePeriod))
+		fusedEnergy := fuse1(cfg.Fusion, energies, 4*cfg.Model.SigmaN*cfg.Model.SigmaN*10)
+		// Position: trilaterate all triples (capped at 3L estimates, per
+		// the paper), apply the application-aware range check (estimates
+		// must fall inside the deployment region — near-collinear anchor
+		// triples produce wild solutions), then filter with the
+		// FT-cluster algorithm.
+		pos := geo.Centroid(anchors)
+		region := geo.Square(cfg.Region)
+		ests := fusion.TrilaterateAll(anchors, dists, 3*len(values))
+		var obs []fusion.Vec
+		for _, e := range ests {
+			if region.Contains(e) {
+				obs = append(obs, fusion.V2(e.X, e.Y))
+			}
+		}
+		if len(obs) > 0 {
+			if est := fuse2(cfg.Fusion, obs, cfg.Eta); est != nil {
+				pos = geo.Point{X: est[0], Y: est[1]}
+			}
+		}
+		out := sensor.Notification{Time: sim.Time(fusedTime), Energy: fusedEnergy, Pos: pos}
+		return out.Encode()
+	}
+}
+
+// fuse1 fuses scalar observations with the selected algorithm.
+func fuse1(alg FusionAlg, obs []fusion.Vec, eta float64) float64 {
+	est := fuse2(alg, obs, eta)
+	if len(est) == 0 {
+		return 0
+	}
+	return est[0]
+}
+
+// fuse2 fuses vector observations with the selected algorithm; nil on
+// failure.
+func fuse2(alg FusionAlg, obs []fusion.Vec, eta float64) fusion.Vec {
+	switch alg {
+	case FusionMean:
+		// Tolerate up to a third faulty inputs, the paper's working point.
+		f := (len(obs) - 1) / 3
+		if v, err := fusion.FTMean(obs, f); err == nil {
+			return v
+		}
+		return nil
+	case FusionNaive:
+		if v, err := fusion.Centroid(obs); err == nil {
+			return v
+		}
+		return nil
+	default:
+		if r, err := fusion.FTCluster(obs, eta); err == nil {
+			return r.Estimate
+		}
+		return nil
+	}
+}
+
+// SensorSweep runs the Fig. 8 sweep: configurations {No IC, IC L=2..7} ×
+// fault models, producing the six tables of Fig. 8 (a)–(f).
+func SensorSweep(base SensorConfig, levels []int, faults []sensor.FaultKind, runs int, progress io.Writer) (map[string]*stats.Table, error) {
+	tables := map[string]*stats.Table{
+		"miss":     stats.NewTable("Fig. 8(a) Miss alarm probability [%]", "config \\ fault"),
+		"false":    stats.NewTable("Fig. 8(b) False alarm probability [% per sensor-epoch]", "config \\ fault"),
+		"energyT":  stats.NewTable("Fig. 8(c) Energy consumption with target [J/node]", "config \\ fault"),
+		"energyNT": stats.NewTable("Fig. 8(d) Energy consumption with no target [J/node]", "config \\ fault"),
+		"latency":  stats.NewTable("Fig. 8(e) Target detection latency [s]", "config \\ fault"),
+		"locerr":   stats.NewTable("Fig. 8(f) Target localization error [m]", "config \\ fault"),
+	}
+	type rowSpec struct {
+		label string
+		ic    bool
+		level int
+	}
+	rows := []rowSpec{{label: "No IC"}}
+	for _, l := range levels {
+		rows = append(rows, rowSpec{label: fmt.Sprintf("IC, L=%d", l), ic: true, level: l})
+	}
+	for _, row := range rows {
+		for _, fault := range faults {
+			for run := 0; run < runs; run++ {
+				cfg := base
+				cfg.IC = row.ic
+				if row.level > 0 {
+					cfg.L = row.level
+				}
+				cfg.Fault = fault
+				cfg.Seed = base.Seed + int64(run)
+				res, err := RunSensor(cfg)
+				if err != nil {
+					return nil, err
+				}
+				col := fault.String()
+				tables["miss"].Add(row.label, col, 100*res.MissAlarm)
+				tables["false"].Add(row.label, col, res.FalseAlarmProb)
+				tables["energyT"].Add(row.label, col, res.EnergyPerNode)
+				if res.Targets > res.Missed {
+					tables["latency"].Add(row.label, col, res.DetectionLatency)
+					tables["locerr"].Add(row.label, col, res.LocalizationErr)
+				}
+				// Fig. 8(d): the same configuration without any target.
+				ntCfg := cfg
+				ntCfg.NoTarget = true
+				ntRes, err := RunSensor(ntCfg)
+				if err != nil {
+					return nil, err
+				}
+				tables["energyNT"].Add(row.label, col, ntRes.EnergyPerNode)
+				if progress != nil {
+					fmt.Fprintf(progress, "%s fault=%s run=%d: miss=%.0f%% false=%.2f%% lat=%.2fs loc=%.1fm E=%.2fJ/%.2fJ\n",
+						row.label, col, run, 100*res.MissAlarm, res.FalseAlarmProb,
+						res.DetectionLatency, res.LocalizationErr, res.EnergyPerNode, ntRes.EnergyPerNode)
+				}
+			}
+		}
+	}
+	return tables, nil
+}

@@ -1,0 +1,44 @@
+package fusion
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// FTMean implements the fault-tolerant mean of Dolev et al. (approximate
+// agreement, JACM 1986), the baseline §4.3 compares the cluster algorithm
+// against: per coordinate, discard the f smallest and f largest
+// observations and average the rest. It always discards 2f observations
+// even when none are faulty — the accuracy limitation that motivates the
+// FT-cluster algorithm.
+func FTMean(points []Vec, f int) (Vec, error) {
+	if len(points) == 0 {
+		return nil, errors.New("fusion: no observations")
+	}
+	if f < 0 {
+		return nil, fmt.Errorf("fusion: negative fault bound %d", f)
+	}
+	if len(points) <= 2*f {
+		return nil, fmt.Errorf("fusion: need > 2f observations (have %d, f=%d)", len(points), f)
+	}
+	dim := len(points[0])
+	out := make(Vec, dim)
+	col := make([]float64, len(points))
+	for d := 0; d < dim; d++ {
+		for i, p := range points {
+			if len(p) != dim {
+				return nil, fmt.Errorf("%w: point %d", ErrDimMismatch, i)
+			}
+			col[i] = p[d]
+		}
+		sort.Float64s(col)
+		trimmed := col[f : len(col)-f]
+		var sum float64
+		for _, v := range trimmed {
+			sum += v
+		}
+		out[d] = sum / float64(len(trimmed))
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package fusion
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"innercircle/internal/sim"
+)
+
+func TestFTMeanKnownValues(t *testing.T) {
+	points := []Vec{V1(1), V1(2), V1(3), V1(4), V1(100)}
+	got, err := FTMean(points, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Discard min (1) and max (100): mean(2,3,4) = 3.
+	if math.Abs(got[0]-3) > 1e-9 {
+		t.Fatalf("FTMean = %v, want 3", got[0])
+	}
+}
+
+func TestFTMeanZeroFaultsIsMean(t *testing.T) {
+	points := []Vec{V1(1), V1(2), V1(3)}
+	got, err := FTMean(points, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-2) > 1e-9 {
+		t.Fatalf("FTMean(f=0) = %v, want plain mean 2", got[0])
+	}
+}
+
+func TestFTMeanVectorPerCoordinate(t *testing.T) {
+	points := []Vec{V2(0, 10), V2(1, 20), V2(2, 30), V2(100, -100)}
+	got, err := FTMean(points, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x: drop 0 and 100 -> mean(1,2) = 1.5; y: drop -100 and 30 -> mean(10,20) = 15.
+	if math.Abs(got[0]-1.5) > 1e-9 || math.Abs(got[1]-15) > 1e-9 {
+		t.Fatalf("FTMean = %v, want (1.5, 15)", got)
+	}
+}
+
+func TestFTMeanErrors(t *testing.T) {
+	if _, err := FTMean(nil, 0); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := FTMean([]Vec{V1(1), V1(2)}, 1); err == nil {
+		t.Error("n <= 2f accepted")
+	}
+	if _, err := FTMean([]Vec{V1(1), V1(2), V1(3)}, -1); err == nil {
+		t.Error("negative f accepted")
+	}
+	if _, err := FTMean([]Vec{V1(1), V2(1, 2), V1(3)}, 0); err == nil {
+		t.Error("mixed dimensions accepted")
+	}
+}
+
+// Property: the FT-mean is bounded by the range of the correct values when
+// at most f values are faulty (validity of approximate agreement).
+func TestPropertyFTMeanValidity(t *testing.T) {
+	rng := sim.NewRNG(17)
+	f := func(nRaw, fRaw uint8) bool {
+		numF := int(fRaw % 3)
+		n := 2*numF + 1 + int(nRaw%8)
+		correct := n - numF
+		lo, hi := math.Inf(1), math.Inf(-1)
+		points := make([]Vec, 0, n)
+		for i := 0; i < correct; i++ {
+			v := rng.Uniform(10, 20)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+			points = append(points, V1(v))
+		}
+		for i := 0; i < numF; i++ {
+			points = append(points, V1(rng.Uniform(-1e6, 1e6)))
+		}
+		got, err := FTMean(points, numF)
+		if err != nil {
+			return false
+		}
+		return got[0] >= lo-1e-9 && got[0] <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterBeatsMeanAtZeroFaults demonstrates the paper's motivation for
+// the FT-cluster algorithm: with no faults, FT-mean still discards 2f
+// observations and is (in expectation) less accurate than the FT-cluster
+// estimate, which keeps everything.
+func TestClusterBeatsMeanAtZeroFaults(t *testing.T) {
+	rng := sim.NewRNG(99)
+	const trials = 300
+	const n, f = 10, 3
+	var errCluster, errMean float64
+	for trial := 0; trial < trials; trial++ {
+		theta := 5.0
+		points := make([]Vec, n)
+		for i := range points {
+			points[i] = V1(theta + rng.NormFloat64())
+		}
+		res, err := FTCluster(points, 4) // eta = 4 sigma
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := FTMean(points, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errCluster += math.Abs(res.Estimate[0] - theta)
+		errMean += math.Abs(m[0] - theta)
+	}
+	if errCluster >= errMean {
+		t.Fatalf("mean |err|: cluster %v >= ftmean %v; cluster should be more accurate with no faults",
+			errCluster/trials, errMean/trials)
+	}
+}

@@ -1,0 +1,142 @@
+package fusion
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"innercircle/internal/geo"
+	"innercircle/internal/sim"
+)
+
+func TestTrilaterateExactRecovery(t *testing.T) {
+	target := geo.Point{X: 37, Y: 91}
+	a1 := geo.Point{X: 0, Y: 0}
+	a2 := geo.Point{X: 100, Y: 0}
+	a3 := geo.Point{X: 0, Y: 100}
+	got, err := Trilaterate(a1, a2, a3, target.Dist(a1), target.Dist(a2), target.Dist(a3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dist(target) > 1e-6 {
+		t.Fatalf("Trilaterate = %v, want %v", got, target)
+	}
+}
+
+func TestTrilaterateCollinearAnchors(t *testing.T) {
+	a1 := geo.Point{X: 0, Y: 0}
+	a2 := geo.Point{X: 50, Y: 0}
+	a3 := geo.Point{X: 100, Y: 0}
+	if _, err := Trilaterate(a1, a2, a3, 10, 10, 10); !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("collinear anchors err = %v, want ErrDegenerate", err)
+	}
+}
+
+func TestTrilaterateNegativeDistance(t *testing.T) {
+	a := geo.Point{}
+	if _, err := Trilaterate(a, geo.Point{X: 1}, geo.Point{Y: 1}, -1, 1, 1); err == nil {
+		t.Fatal("negative distance accepted")
+	}
+}
+
+// Property: exact distances from non-collinear anchors recover the target.
+func TestPropertyTrilaterateRecovery(t *testing.T) {
+	rng := sim.NewRNG(3)
+	f := func(tx, ty int16) bool {
+		target := geo.Point{X: float64(tx % 200), Y: float64(ty % 200)}
+		a1 := geo.Point{X: rng.Uniform(0, 100), Y: rng.Uniform(0, 100)}
+		a2 := geo.Point{X: a1.X + rng.Uniform(20, 60), Y: a1.Y + rng.Uniform(-10, 10)}
+		a3 := geo.Point{X: a1.X + rng.Uniform(-10, 10), Y: a1.Y + rng.Uniform(20, 60)}
+		got, err := Trilaterate(a1, a2, a3, target.Dist(a1), target.Dist(a2), target.Dist(a3))
+		if errors.Is(err, ErrDegenerate) {
+			return true // randomly near-collinear draw; acceptable
+		}
+		if err != nil {
+			return false
+		}
+		return got.Dist(target) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrilaterateAll(t *testing.T) {
+	target := geo.Point{X: 25, Y: 25}
+	anchors := []geo.Point{
+		{X: 0, Y: 0}, {X: 50, Y: 0}, {X: 0, Y: 50}, {X: 50, Y: 50},
+	}
+	dists := make([]float64, len(anchors))
+	for i, a := range anchors {
+		dists[i] = target.Dist(a)
+	}
+	ests := TrilaterateAll(anchors, dists, 0)
+	if len(ests) != 4 { // C(4,3) = 4 triples, all non-degenerate
+		t.Fatalf("got %d estimates, want 4", len(ests))
+	}
+	for _, e := range ests {
+		if e.Dist(target) > 1e-6 {
+			t.Fatalf("estimate %v far from target %v", e, target)
+		}
+	}
+}
+
+func TestTrilaterateAllCap(t *testing.T) {
+	anchors := make([]geo.Point, 10)
+	dists := make([]float64, 10)
+	target := geo.Point{X: 5, Y: 5}
+	rng := sim.NewRNG(8)
+	for i := range anchors {
+		anchors[i] = geo.Point{X: rng.Uniform(0, 100), Y: rng.Uniform(0, 100)}
+		dists[i] = target.Dist(anchors[i])
+	}
+	capped := TrilaterateAll(anchors, dists, 7)
+	if len(capped) > 7 {
+		t.Fatalf("cap violated: %d estimates", len(capped))
+	}
+}
+
+func TestTrilaterateAllBadInput(t *testing.T) {
+	if got := TrilaterateAll(make([]geo.Point, 2), make([]float64, 2), 0); got != nil {
+		t.Fatal("fewer than 3 anchors should return nil")
+	}
+	if got := TrilaterateAll(make([]geo.Point, 3), make([]float64, 2), 0); got != nil {
+		t.Fatal("mismatched lengths should return nil")
+	}
+}
+
+// TestNoisyPipelineWithFTCluster exercises the full §5.2 local
+// localization pipeline: noisy distances -> all-triple trilateration ->
+// FT-cluster filtering, with one anchor reporting a wildly wrong position
+// (positioning fault).
+func TestNoisyPipelineWithFTCluster(t *testing.T) {
+	rng := sim.NewRNG(21)
+	target := geo.Point{X: 60, Y: 40}
+	anchors := []geo.Point{
+		{X: 40, Y: 40}, {X: 80, Y: 40}, {X: 60, Y: 60},
+		{X: 50, Y: 20}, {X: 70, Y: 20},
+	}
+	dists := make([]float64, len(anchors))
+	for i, a := range anchors {
+		dists[i] = target.Dist(a) * (1 + 0.02*rng.NormFloat64())
+	}
+	// Positioning fault: anchor 4 thinks it is somewhere random.
+	faulty := append([]geo.Point(nil), anchors...)
+	faulty[4] = geo.Point{X: 190, Y: 5}
+	ests := TrilaterateAll(faulty, dists, 0)
+	if len(ests) < 5 {
+		t.Fatalf("only %d estimates", len(ests))
+	}
+	obs := make([]Vec, len(ests))
+	for i, e := range ests {
+		obs[i] = V2(e.X, e.Y)
+	}
+	res, err := FTCluster(obs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := geo.Point{X: res.Estimate[0], Y: res.Estimate[1]}
+	if got.Dist(target) > 8 {
+		t.Fatalf("fused estimate %v too far from target %v (err %.1f m)", got, target, got.Dist(target))
+	}
+}

@@ -1,0 +1,101 @@
+// Package icnet implements the two node-local inner-circle components of
+// the paper's architecture (Fig. 1) that police traffic: the Suspicions
+// Manager, which tracks misbehaving nodes, and the Inner-circle
+// Interceptor, which redirects template-matched outgoing messages into the
+// voting service and suppresses incoming messages from suspected nodes or
+// with invalid signatures.
+package icnet
+
+import (
+	"sort"
+
+	"innercircle/internal/link"
+	"innercircle/internal/sim"
+)
+
+// Evidence describes why a node was suspected, for diagnostics.
+type Evidence struct {
+	Node   link.NodeID
+	Reason string
+	At     sim.Time
+}
+
+// SuspicionManager maintains the suspected-node list. Per §4: a node p
+// suspects q *permanently* only with provable evidence of misbehaviour
+// (e.g. a properly signed message with an invalid field); otherwise the
+// suspicion is temporary and expires.
+type SuspicionManager struct {
+	k        *sim.Kernel
+	tempDur  sim.Duration
+	perm     map[link.NodeID]Evidence
+	tempEnds map[link.NodeID]sim.Time
+	log      []Evidence
+}
+
+// NewSuspicionManager returns a manager whose temporary suspicions last
+// tempDur (the paper suggests "a few minutes").
+func NewSuspicionManager(k *sim.Kernel, tempDur sim.Duration) *SuspicionManager {
+	return &SuspicionManager{
+		k:        k,
+		tempDur:  tempDur,
+		perm:     make(map[link.NodeID]Evidence),
+		tempEnds: make(map[link.NodeID]sim.Time),
+	}
+}
+
+// SuspectPermanent records provable evidence against a node; the suspicion
+// never expires.
+func (s *SuspicionManager) SuspectPermanent(id link.NodeID, reason string) {
+	ev := Evidence{Node: id, Reason: reason, At: s.k.Now()}
+	if _, dup := s.perm[id]; !dup {
+		s.perm[id] = ev
+		s.log = append(s.log, ev)
+	}
+	delete(s.tempEnds, id)
+}
+
+// SuspectTemporary suspects a node until the temporary window elapses;
+// repeated calls extend the window.
+func (s *SuspicionManager) SuspectTemporary(id link.NodeID, reason string) {
+	if _, isPerm := s.perm[id]; isPerm {
+		return
+	}
+	s.tempEnds[id] = s.k.Now() + s.tempDur
+	s.log = append(s.log, Evidence{Node: id, Reason: reason, At: s.k.Now()})
+}
+
+// Suspected reports whether id is currently suspected.
+func (s *SuspicionManager) Suspected(id link.NodeID) bool {
+	if _, ok := s.perm[id]; ok {
+		return true
+	}
+	if end, ok := s.tempEnds[id]; ok {
+		if s.k.Now() < end {
+			return true
+		}
+		delete(s.tempEnds, id)
+	}
+	return false
+}
+
+// Snapshot returns the currently suspected node IDs, sorted.
+func (s *SuspicionManager) Snapshot() []link.NodeID {
+	var out []link.NodeID
+	for id := range s.perm {
+		out = append(out, id)
+	}
+	for id := range s.tempEnds {
+		if s.Suspected(id) {
+			if _, isPerm := s.perm[id]; !isPerm {
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Log returns all evidence recorded so far, in order.
+func (s *SuspicionManager) Log() []Evidence {
+	return append([]Evidence(nil), s.log...)
+}

@@ -1,0 +1,129 @@
+// Package link provides the paper's "Single-hop Communication Service": a
+// best-effort unicast/broadcast message service over the MAC, plus the
+// filter hook points through which the Inner-circle Interceptor (Fig. 1)
+// observes and redirects traffic between the link layer and the services
+// above it.
+package link
+
+import (
+	"innercircle/internal/mac"
+)
+
+// NodeID identifies a node. It is numerically equal to the node's MAC
+// address; correct nodes keep it for life (§2 of the paper).
+type NodeID int
+
+// BroadcastID is the destination for single-hop broadcasts.
+const BroadcastID NodeID = NodeID(mac.Broadcast)
+
+// Message is anything a protocol sends across one hop. Size is the wire
+// size used to compute airtime and energy.
+type Message interface {
+	Size() int
+}
+
+// Env is a message envelope with its single-hop addressing.
+type Env struct {
+	From NodeID
+	To   NodeID // BroadcastID for broadcasts
+	Msg  Message
+}
+
+// Filter intercepts traffic. Outbound runs before a message is handed to
+// the MAC (return false to swallow it); Inbound runs before a received
+// message is delivered upward (return false to suppress it). This is the
+// hook the Inner-circle Interceptor plugs into.
+type Filter interface {
+	Outbound(Env) bool
+	Inbound(Env) bool
+}
+
+// Service is one node's single-hop communication service.
+type Service struct {
+	mac      *mac.MAC
+	id       NodeID
+	filters  []Filter
+	observer func(outbound bool, e Env)
+	onRecv   func(Env)
+	onFailed func(Env)
+}
+
+// NewService wraps m. The service installs itself as m's receive handler.
+func NewService(m *mac.MAC) *Service {
+	s := &Service{mac: m, id: NodeID(m.Addr())}
+	m.OnRecv(s.recv)
+	m.OnSendFailed(s.sendFailed)
+	return s
+}
+
+// ID returns this node's identifier.
+func (s *Service) ID() NodeID { return s.id }
+
+// AddFilter appends a filter to the chain. Filters run in insertion order;
+// the first to return false stops processing.
+func (s *Service) AddFilter(f Filter) { s.filters = append(s.filters, f) }
+
+// OnRecv registers the upward delivery handler.
+func (s *Service) OnRecv(fn func(Env)) { s.onRecv = fn }
+
+// SetObserver registers a tap that sees every message this node transmits
+// (including raw protocol traffic that bypasses the filters) and every
+// message the radio delivers, before filtering. Used by the tracer.
+func (s *Service) SetObserver(fn func(outbound bool, e Env)) { s.observer = fn }
+
+// OnSendFailed registers the handler invoked when a unicast exhausts MAC
+// retries (the link-breakage signal).
+func (s *Service) OnSendFailed(fn func(Env)) { s.onFailed = fn }
+
+// Send transmits msg to the given destination (BroadcastID for broadcast).
+// Outbound filters may swallow the message, which is not an error: the
+// interceptor redirecting a message into the voting service looks like
+// this.
+func (s *Service) Send(to NodeID, msg Message) error {
+	env := Env{From: s.id, To: to, Msg: msg}
+	for _, f := range s.filters {
+		if !f.Outbound(env) {
+			return nil
+		}
+	}
+	return s.SendRaw(to, msg)
+}
+
+// SendRaw transmits without running outbound filters. Inner-circle services
+// use it to emit their own protocol traffic (which must not be
+// re-intercepted).
+func (s *Service) SendRaw(to NodeID, msg Message) error {
+	if s.observer != nil {
+		s.observer(true, Env{From: s.id, To: to, Msg: msg})
+	}
+	return s.mac.Send(mac.Addr(to), msg, msg.Size())
+}
+
+func (s *Service) recv(p mac.Packet) {
+	msg, ok := p.Payload.(Message)
+	if !ok {
+		return
+	}
+	env := Env{From: NodeID(p.Src), To: NodeID(p.Dst), Msg: msg}
+	if s.observer != nil {
+		s.observer(false, env)
+	}
+	for _, f := range s.filters {
+		if !f.Inbound(env) {
+			return
+		}
+	}
+	if s.onRecv != nil {
+		s.onRecv(env)
+	}
+}
+
+func (s *Service) sendFailed(p mac.Packet) {
+	msg, ok := p.Payload.(Message)
+	if !ok {
+		return
+	}
+	if s.onFailed != nil {
+		s.onFailed(Env{From: NodeID(p.Src), To: NodeID(p.Dst), Msg: msg})
+	}
+}

@@ -1,0 +1,186 @@
+package link
+
+import (
+	"testing"
+
+	"innercircle/internal/geo"
+	"innercircle/internal/mac"
+	"innercircle/internal/mobility"
+	"innercircle/internal/radio"
+	"innercircle/internal/sim"
+)
+
+type testMsg struct {
+	body string
+	size int
+}
+
+func (m testMsg) Size() int { return m.size }
+
+func buildLinks(k *sim.Kernel, positions []geo.Point) []*Service {
+	ch := radio.NewChannel(k, radio.Default80211())
+	rng := sim.NewRNG(1)
+	svcs := make([]*Service, len(positions))
+	for i, p := range positions {
+		m := mac.New(k, ch, mobility.Static(p), nil, rng.SplitN("mac", i), mac.Default80211())
+		svcs[i] = NewService(m)
+	}
+	return svcs
+}
+
+func TestUnicastAndBroadcast(t *testing.T) {
+	k := sim.NewKernel()
+	svcs := buildLinks(k, []geo.Point{{X: 0}, {X: 100}, {X: 200}})
+	var got1, got2 []Env
+	svcs[1].OnRecv(func(e Env) { got1 = append(got1, e) })
+	svcs[2].OnRecv(func(e Env) { got2 = append(got2, e) })
+
+	if err := svcs[0].Send(svcs[1].ID(), testMsg{"uni", 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svcs[0].Send(BroadcastID, testMsg{"bc", 50}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(got1) != 2 {
+		t.Fatalf("node1 got %d messages, want unicast+broadcast", len(got1))
+	}
+	if len(got2) != 1 {
+		t.Fatalf("node2 got %d messages, want broadcast only", len(got2))
+	}
+	if got2[0].To != BroadcastID || got2[0].From != svcs[0].ID() {
+		t.Fatalf("broadcast envelope = %+v", got2[0])
+	}
+}
+
+// swallowOut drops outbound messages whose body matches.
+type swallowOut struct {
+	body      string
+	swallowed int
+}
+
+func (f *swallowOut) Outbound(e Env) bool {
+	if m, ok := e.Msg.(testMsg); ok && m.body == f.body {
+		f.swallowed++
+		return false
+	}
+	return true
+}
+func (f *swallowOut) Inbound(Env) bool { return true }
+
+// suppressIn drops inbound messages from a given node.
+type suppressIn struct {
+	from       NodeID
+	suppressed int
+}
+
+func (f *suppressIn) Outbound(Env) bool { return true }
+func (f *suppressIn) Inbound(e Env) bool {
+	if e.From == f.from {
+		f.suppressed++
+		return false
+	}
+	return true
+}
+
+func TestOutboundFilterSwallows(t *testing.T) {
+	k := sim.NewKernel()
+	svcs := buildLinks(k, []geo.Point{{X: 0}, {X: 100}})
+	var got []Env
+	svcs[1].OnRecv(func(e Env) { got = append(got, e) })
+	f := &swallowOut{body: "secret"}
+	svcs[0].AddFilter(f)
+	if err := svcs[0].Send(svcs[1].ID(), testMsg{"secret", 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svcs[0].Send(svcs[1].ID(), testMsg{"public", 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if f.swallowed != 1 {
+		t.Fatalf("swallowed = %d, want 1", f.swallowed)
+	}
+	if len(got) != 1 || got[0].Msg.(testMsg).body != "public" {
+		t.Fatalf("got %v, want only 'public'", got)
+	}
+}
+
+func TestSendRawBypassesFilters(t *testing.T) {
+	k := sim.NewKernel()
+	svcs := buildLinks(k, []geo.Point{{X: 0}, {X: 100}})
+	var got []Env
+	svcs[1].OnRecv(func(e Env) { got = append(got, e) })
+	f := &swallowOut{body: "secret"}
+	svcs[0].AddFilter(f)
+	if err := svcs[0].SendRaw(svcs[1].ID(), testMsg{"secret", 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if f.swallowed != 0 || len(got) != 1 {
+		t.Fatalf("SendRaw was filtered: swallowed=%d got=%d", f.swallowed, len(got))
+	}
+}
+
+func TestInboundFilterSuppresses(t *testing.T) {
+	k := sim.NewKernel()
+	svcs := buildLinks(k, []geo.Point{{X: 0}, {X: 100}, {X: 50, Y: 50}})
+	var got []Env
+	svcs[1].OnRecv(func(e Env) { got = append(got, e) })
+	f := &suppressIn{from: svcs[2].ID()}
+	svcs[1].AddFilter(f)
+	if err := svcs[0].Send(svcs[1].ID(), testMsg{"ok", 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svcs[2].Send(svcs[1].ID(), testMsg{"bad", 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if f.suppressed != 1 {
+		t.Fatalf("suppressed = %d, want 1", f.suppressed)
+	}
+	if len(got) != 1 || got[0].From != svcs[0].ID() {
+		t.Fatalf("got %v, want only message from node0", got)
+	}
+}
+
+func TestSendFailedUpcall(t *testing.T) {
+	k := sim.NewKernel()
+	svcs := buildLinks(k, []geo.Point{{X: 0}, {X: 10000}})
+	var failed []Env
+	svcs[0].OnSendFailed(func(e Env) { failed = append(failed, e) })
+	if err := svcs[0].Send(svcs[1].ID(), testMsg{"gone", 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 1 {
+		t.Fatalf("failed upcalls = %d, want 1", len(failed))
+	}
+	if failed[0].To != svcs[1].ID() {
+		t.Fatalf("failed envelope = %+v", failed[0])
+	}
+}
+
+func TestFilterChainOrder(t *testing.T) {
+	k := sim.NewKernel()
+	svcs := buildLinks(k, []geo.Point{{X: 0}, {X: 100}})
+	first := &swallowOut{body: "x"}
+	second := &swallowOut{body: "x"}
+	svcs[0].AddFilter(first)
+	svcs[0].AddFilter(second)
+	if err := svcs[0].Send(svcs[1].ID(), testMsg{"x", 10}); err != nil {
+		t.Fatal(err)
+	}
+	if first.swallowed != 1 || second.swallowed != 0 {
+		t.Fatalf("chain order violated: first=%d second=%d", first.swallowed, second.swallowed)
+	}
+}

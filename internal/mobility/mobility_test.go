@@ -1,0 +1,146 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"innercircle/internal/geo"
+	"innercircle/internal/sim"
+)
+
+func TestStaticNeverMoves(t *testing.T) {
+	s := Static(geo.Point{X: 3, Y: 4})
+	for _, tm := range []sim.Time{0, 1, 100, 1e6} {
+		if got := s.Pos(tm); got != (geo.Point{X: 3, Y: 4}) {
+			t.Fatalf("Pos(%v) = %v, want (3,4)", tm, got)
+		}
+	}
+}
+
+func newTestWaypoint(seed int64, pause sim.Duration) *Waypoint {
+	cfg := WaypointConfig{
+		Region:   geo.Square(1000),
+		MinSpeed: 10,
+		MaxSpeed: 10,
+		Pause:    pause,
+	}
+	return NewWaypoint(cfg, geo.Point{X: 500, Y: 500}, sim.NewRNG(seed))
+}
+
+func TestWaypointStaysInRegion(t *testing.T) {
+	region := geo.Square(1000)
+	for seed := int64(0); seed < 5; seed++ {
+		w := newTestWaypoint(seed, 0)
+		for tm := sim.Time(0); tm < 1000; tm += 0.5 {
+			p := w.Pos(tm)
+			if !region.Contains(p) {
+				t.Fatalf("seed %d: Pos(%v) = %v outside region", seed, tm, p)
+			}
+		}
+	}
+}
+
+func TestWaypointSpeedBound(t *testing.T) {
+	w := newTestWaypoint(1, 0)
+	const dt = 0.1
+	prev := w.Pos(0)
+	for tm := sim.Time(dt); tm < 500; tm += dt {
+		p := w.Pos(tm)
+		d := p.Dist(prev)
+		if d > 10*dt+1e-6 {
+			t.Fatalf("node moved %v m in %v s (> max speed 10 m/s)", d, dt)
+		}
+		prev = p
+	}
+}
+
+func TestWaypointActuallyMoves(t *testing.T) {
+	w := newTestWaypoint(2, 0)
+	start := w.Pos(0)
+	moved := false
+	for tm := sim.Time(1); tm < 100; tm++ {
+		if w.Pos(tm).Dist(start) > 1 {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("waypoint node did not move in 100 s at 10 m/s")
+	}
+}
+
+func TestWaypointDeterministic(t *testing.T) {
+	a := newTestWaypoint(7, 0)
+	b := newTestWaypoint(7, 0)
+	for tm := sim.Time(0); tm < 200; tm += 1.5 {
+		if a.Pos(tm) != b.Pos(tm) {
+			t.Fatalf("same-seed trajectories diverged at %v", tm)
+		}
+	}
+}
+
+func TestWaypointPause(t *testing.T) {
+	// With a long pause, after arriving the node must hold position.
+	cfg := WaypointConfig{Region: geo.Square(100), MinSpeed: 50, MaxSpeed: 50, Pause: 1000}
+	w := NewWaypoint(cfg, geo.Point{X: 50, Y: 50}, sim.NewRNG(3))
+	// Max leg length is the diagonal ~141 m -> at most ~2.9 s travel.
+	arrived := w.Pos(5)
+	for tm := sim.Time(5); tm < 100; tm += 5 {
+		if got := w.Pos(tm); got != arrived {
+			t.Fatalf("node moved during pause: %v at %v vs %v", got, tm, arrived)
+		}
+	}
+}
+
+func TestUniformPlacementInRegion(t *testing.T) {
+	region := geo.Rect{MinX: 10, MinY: 20, MaxX: 110, MaxY: 220}
+	pts := UniformPlacement(region, 500, sim.NewRNG(4))
+	if len(pts) != 500 {
+		t.Fatalf("got %d points, want 500", len(pts))
+	}
+	for _, p := range pts {
+		if !region.Contains(p) {
+			t.Fatalf("point %v outside region", p)
+		}
+	}
+}
+
+func TestGridPlacementCountAndBounds(t *testing.T) {
+	region := geo.Square(200)
+	for _, n := range []int{1, 7, 100, 101} {
+		pts := GridPlacement(region, n, 5, sim.NewRNG(5))
+		if len(pts) != n {
+			t.Fatalf("GridPlacement(%d) returned %d points", n, len(pts))
+		}
+		for _, p := range pts {
+			if !region.Contains(p) {
+				t.Fatalf("grid point %v outside region", p)
+			}
+		}
+	}
+	if got := GridPlacement(region, 0, 0, sim.NewRNG(1)); got != nil {
+		t.Fatalf("GridPlacement(0) = %v, want nil", got)
+	}
+}
+
+func TestGridPlacementRoughlyEven(t *testing.T) {
+	// 100 nodes on 200x200 should have nearest-neighbour spacing near 20 m.
+	pts := GridPlacement(geo.Square(200), 100, 2, sim.NewRNG(6))
+	var minNN, maxNN float64 = math.Inf(1), 0
+	for i, p := range pts {
+		nn := math.Inf(1)
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			if d := p.Dist(q); d < nn {
+				nn = d
+			}
+		}
+		minNN = math.Min(minNN, nn)
+		maxNN = math.Max(maxNN, nn)
+	}
+	if minNN < 10 || maxNN > 30 {
+		t.Fatalf("nearest-neighbour spacing [%v, %v], want within [10, 30]", minNN, maxNN)
+	}
+}

@@ -1,0 +1,318 @@
+// Package node assembles the per-node component stack of the paper's
+// architecture (Fig. 1): radio, MAC, single-hop link service, inner-circle
+// interceptor, suspicions manager, secure topology service, and voting
+// service — plus the shared network fabric (simulation kernel, radio
+// channel, key material) that a simulated deployment needs.
+package node
+
+import (
+	"fmt"
+
+	"innercircle/internal/crypto/nsl"
+	"innercircle/internal/crypto/thresh"
+	"innercircle/internal/energy"
+	"innercircle/internal/icnet"
+	"innercircle/internal/link"
+	"innercircle/internal/mac"
+	"innercircle/internal/mobility"
+	"innercircle/internal/radio"
+	"innercircle/internal/sim"
+	"innercircle/internal/sts"
+	"innercircle/internal/trace"
+	"innercircle/internal/vote"
+)
+
+// Node is one assembled wireless node.
+type Node struct {
+	ID    link.NodeID
+	Index int
+	K     *sim.Kernel
+	MAC   *mac.MAC
+	Link  *link.Service
+	Meter *energy.Meter
+	Mob   mobility.Model
+	RNG   *sim.RNG
+
+	// Inner-circle components; nil when the network is built without IC.
+	Susp      *icnet.SuspicionManager
+	Intercept *icnet.Interceptor
+	STS       *sts.Service
+	Vote      *vote.Service
+
+	// SignKP is the node's individual key pair (nil in SimAuth-only
+	// networks without statistical voting).
+	SignKP *nsl.KeyPair
+
+	handlers []func(link.Env) bool
+}
+
+// Handle appends a message handler; handlers run in registration order
+// after the STS and voting services, and the first to return true consumes
+// the envelope.
+func (n *Node) Handle(fn func(link.Env) bool) {
+	n.handlers = append(n.handlers, fn)
+}
+
+// dispatch routes an inbound envelope through the component stack.
+func (n *Node) dispatch(e link.Env) {
+	if n.STS != nil && n.STS.HandleEnv(e) {
+		return
+	}
+	if n.Vote != nil && n.Vote.HandleEnv(e) {
+		return
+	}
+	for _, h := range n.handlers {
+		if h(e) {
+			return
+		}
+	}
+}
+
+// Network is a simulated deployment.
+type Network struct {
+	K       *sim.Kernel
+	Channel *radio.Channel
+	Nodes   []*Node
+	Ring    vote.PublicRing
+	Dir     nsl.DirectoryMap
+	RNG     *sim.RNG
+}
+
+// Config describes a deployment to build.
+type Config struct {
+	// N is the number of nodes.
+	N int
+	// Seed drives every random stream in the network.
+	Seed int64
+	// Radio, MAC and Energy configure the lower layers.
+	Radio  radio.Params
+	MAC    mac.Params
+	Energy energy.Params
+	// Mobility yields node i's movement model; required.
+	Mobility func(i int, rng *sim.RNG) mobility.Model
+
+	// IC installs the inner-circle components (interceptor, suspicions
+	// manager, voting service). STS runs in both modes; with IC off it
+	// runs unauthenticated (plain hellos), matching the paper's "No IC"
+	// baselines.
+	IC bool
+	// STS configures the topology service. A zero Period disables STS
+	// entirely.
+	STS sts.Config
+	// Vote configures the voting service (only used when IC is set).
+	Vote vote.Config
+	// MaxL bounds the dependability levels for which keys are dealt.
+	MaxL int
+	// Dealer provides threshold keys; nil selects thresh.SimDealer seeded
+	// from Seed.
+	Dealer thresh.Dealer
+	// Keys optionally supplies pre-generated per-node RSA key pairs
+	// (benches cache them across runs — key material does not affect
+	// traffic). Required length N when set.
+	Keys []*nsl.KeyPair
+	// KeyBits sets generated key size when Keys is nil and RSA material
+	// is needed (STS handshake or statistical voting). Default 512.
+	KeyBits int
+	// SigWireBytes is the emulated signature size for SimAuth/SimDealer
+	// (e.g. 128 for "1024-bit keys"). Default 128.
+	SigWireBytes int
+	// Callbacks builds each node's vote callbacks (IC mode); may be nil.
+	Callbacks func(n *Node) vote.Callbacks
+	// TempSuspicion is the temporary-suspicion duration. Default 120 s.
+	TempSuspicion sim.Duration
+	// Tracer, when non-nil, taps every node's link traffic.
+	Tracer *trace.Tracer
+	// Crypto models signing/verification latency and energy (zero value:
+	// instantaneous and free).
+	Crypto vote.CryptoProfile
+}
+
+// GenerateKeySet creates n RSA key pairs for reuse across Build calls.
+func GenerateKeySet(n, bits int) ([]*nsl.KeyPair, error) {
+	if bits == 0 {
+		bits = 512
+	}
+	keys := make([]*nsl.KeyPair, n)
+	for i := range keys {
+		kp, err := nsl.GenerateKeyPair(bits, nil)
+		if err != nil {
+			return nil, fmt.Errorf("node: generate key %d: %w", i, err)
+		}
+		keys[i] = kp
+	}
+	return keys, nil
+}
+
+// Build assembles the network. Nodes are created but protocol services are
+// not started; call StartSTS (or start services individually) before Run.
+func Build(cfg Config) (*Network, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("node: N must be >= 1")
+	}
+	if cfg.Mobility == nil {
+		return nil, fmt.Errorf("node: mobility model constructor required")
+	}
+	if cfg.IC && cfg.STS.Period <= 0 {
+		return nil, fmt.Errorf("node: IC mode requires a running STS (Period > 0)")
+	}
+	if cfg.TempSuspicion == 0 {
+		cfg.TempSuspicion = 120
+	}
+	if cfg.SigWireBytes == 0 {
+		cfg.SigWireBytes = 128
+	}
+
+	k := sim.NewKernel()
+	rng := sim.NewRNG(cfg.Seed)
+	ch := radio.NewChannel(k, cfg.Radio)
+	if cfg.Tracer != nil {
+		cfg.Tracer.SetClock(k.Now)
+	}
+	net := &Network{K: k, Channel: ch, RNG: rng, Dir: nsl.DirectoryMap{}}
+
+	needRSA := cfg.STS.Handshake || (cfg.IC && cfg.Vote.Mode == vote.Statistical)
+	keys := cfg.Keys
+	if needRSA && keys == nil {
+		var err error
+		keys, err = GenerateKeySet(cfg.N, cfg.KeyBits)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if keys != nil {
+		if len(keys) != cfg.N {
+			return nil, fmt.Errorf("node: got %d keys for %d nodes", len(keys), cfg.N)
+		}
+		for i, kp := range keys {
+			net.Dir[int64(i)] = kp.Pub
+		}
+	}
+
+	// Threshold key material (IC mode only).
+	var nodeKeys []vote.NodeKeys
+	if cfg.IC {
+		dealer := cfg.Dealer
+		if dealer == nil {
+			dealer = thresh.NewSimDealer([]byte(fmt.Sprintf("net-%d", cfg.Seed)), cfg.SigWireBytes)
+		}
+		maxL := cfg.MaxL
+		if maxL == 0 {
+			maxL = 10
+		}
+		ring, nk, err := vote.DealRing(dealer, maxL, cfg.N)
+		if err != nil {
+			return nil, fmt.Errorf("node: deal threshold keys: %w", err)
+		}
+		net.Ring = ring
+		nodeKeys = nk
+	}
+
+	for i := 0; i < cfg.N; i++ {
+		nodeRNG := rng.SplitN("node", i)
+		mob := cfg.Mobility(i, nodeRNG.Split("mobility"))
+		meter := energy.NewMeter(cfg.Energy)
+		m := mac.New(k, ch, mob, meter, nodeRNG.Split("mac"), cfg.MAC)
+		l := link.NewService(m)
+		if cfg.Tracer != nil {
+			cfg.Tracer.Attach(l)
+		}
+		nd := &Node{
+			ID:    l.ID(),
+			Index: i,
+			K:     k,
+			MAC:   m,
+			Link:  l,
+			Meter: meter,
+			Mob:   mob,
+			RNG:   nodeRNG,
+		}
+		if keys != nil {
+			nd.SignKP = keys[i]
+		}
+
+		if cfg.IC {
+			nd.Susp = icnet.NewSuspicionManager(k, cfg.TempSuspicion)
+			nd.Intercept = icnet.NewInterceptor(nd.Susp)
+			l.AddFilter(nd.Intercept)
+		}
+
+		if cfg.STS.Period > 0 {
+			stsDeps := sts.Deps{
+				ID:   nd.ID,
+				K:    k,
+				Link: l,
+				RNG:  nodeRNG.Split("sts"),
+			}
+			if cfg.STS.Authenticate {
+				if nd.SignKP != nil {
+					stsDeps.Auth = sts.NewRSAAuth(nd.SignKP, net.Dir)
+				} else {
+					stsDeps.Auth = sts.NewSimAuth([]byte(fmt.Sprintf("sts-%d", cfg.Seed)), nd.ID, cfg.SigWireBytes/2)
+				}
+			}
+			if cfg.STS.Handshake {
+				stsDeps.Party = nsl.NewParty(int64(i), nd.SignKP, net.Dir, nil)
+			}
+			svc, err := sts.New(cfg.STS, stsDeps)
+			if err != nil {
+				return nil, fmt.Errorf("node %d: sts: %w", i, err)
+			}
+			nd.STS = svc
+		}
+
+		nd.Link.OnRecv(nd.dispatch)
+		net.Nodes = append(net.Nodes, nd)
+	}
+
+	// Voting services are built in a second pass so callbacks can close
+	// over the fully assembled node.
+	if cfg.IC {
+		for i, nd := range net.Nodes {
+			var cbs vote.Callbacks
+			if cfg.Callbacks != nil {
+				cbs = cfg.Callbacks(nd)
+			}
+			vs, err := vote.New(cfg.Vote, vote.Deps{
+				ID:     nd.ID,
+				K:      k,
+				Link:   nd.Link,
+				Topo:   nd.STS,
+				Ring:   net.Ring,
+				Keys:   nodeKeys[i],
+				Susp:   nd.Susp,
+				SignKP: nd.SignKP,
+				Dir:    net.Dir,
+				Crypto: cfg.Crypto,
+				Energy: nd.Meter,
+			}, cbs)
+			if err != nil {
+				return nil, fmt.Errorf("node %d: vote: %w", i, err)
+			}
+			nd.Vote = vs
+			nd.Intercept.SetVerifier(vs.VerifierFor())
+		}
+	}
+	return net, nil
+}
+
+// StartSTS starts every node's topology service.
+func (net *Network) StartSTS() {
+	for _, nd := range net.Nodes {
+		if nd.STS != nil {
+			nd.STS.Start()
+		}
+	}
+}
+
+// Run drives the simulation to the given virtual time.
+func (net *Network) Run(until sim.Time) error { return net.K.Run(until) }
+
+// TotalEnergy returns the summed energy consumption of all nodes at the
+// current virtual time, in joules.
+func (net *Network) TotalEnergy() float64 {
+	var total float64
+	for _, nd := range net.Nodes {
+		total += nd.Meter.Consumed(net.K.Now())
+	}
+	return total
+}

@@ -1,0 +1,225 @@
+// Package radio models the wireless physical layer: unit-disk propagation
+// with a fixed transmission range, transmission timing derived from frame
+// size and bitrate, half-duplex transceivers, and collisions when
+// transmissions overlap at a receiver. It corresponds to the 802.11
+// physical layer configuration of the paper's ns-2 experiments (250 m range
+// for the ad hoc scenario, 40 m for the sensor scenario, 2 Mb/s).
+package radio
+
+import (
+	"errors"
+
+	"innercircle/internal/energy"
+	"innercircle/internal/geo"
+	"innercircle/internal/mobility"
+	"innercircle/internal/sim"
+)
+
+// Params configure the physical layer.
+type Params struct {
+	// Range is the transmission (and carrier-sense) radius in metres.
+	Range float64
+	// Bitrate is the channel rate in bits per second.
+	Bitrate float64
+	// PropSpeed is the signal propagation speed in m/s.
+	PropSpeed float64
+}
+
+// Default80211 returns the parameters used by the paper's ad hoc experiment.
+func Default80211() Params {
+	return Params{Range: 250, Bitrate: 2e6, PropSpeed: 3e8}
+}
+
+// Frame is the unit of transmission on the channel. Bytes drives airtime;
+// Payload is opaque to the physical layer.
+type Frame struct {
+	Bytes   int
+	Payload any
+}
+
+// ErrTxBusy is returned when a transceiver is asked to transmit while a
+// previous transmission is still on the air.
+var ErrTxBusy = errors.New("radio: transceiver already transmitting")
+
+// ID identifies a transceiver on its channel.
+type ID int
+
+// arrival is a signal in flight toward one receiver.
+type arrival struct {
+	frame    Frame
+	from     ID
+	start    sim.Time
+	end      sim.Time
+	collided bool
+}
+
+// Transceiver is one radio attached to a Channel.
+type Transceiver struct {
+	id       ID
+	pos      mobility.Model
+	meter    *energy.Meter
+	recv     func(Frame, ID)
+	txUntil  sim.Time
+	arrivals []*arrival
+	down     bool
+}
+
+// ID returns the transceiver's channel-local identifier.
+func (t *Transceiver) ID() ID { return t.id }
+
+// SetDown disables (true) or enables (false) the radio. A down radio
+// neither transmits nor receives; used to model crashed nodes.
+func (t *Transceiver) SetDown(down bool) { t.down = down }
+
+// Channel is the shared medium connecting a set of transceivers. It is
+// driven by the simulation kernel and is not safe for concurrent use.
+type Channel struct {
+	k      *sim.Kernel
+	params Params
+	trs    []*Transceiver
+
+	// Stats counts physical-layer activity for the whole channel.
+	Stats Stats
+}
+
+// Stats aggregates channel counters.
+type Stats struct {
+	FramesSent      uint64
+	FramesDelivered uint64
+	FramesCollided  uint64
+}
+
+// NewChannel returns an empty channel on kernel k.
+func NewChannel(k *sim.Kernel, params Params) *Channel {
+	return &Channel{k: k, params: params}
+}
+
+// Attach adds a transceiver whose position follows pos, whose energy is
+// accounted to meter (may be nil), and whose successfully received frames
+// are delivered to recv along with the sender's ID.
+func (c *Channel) Attach(pos mobility.Model, meter *energy.Meter, recv func(Frame, ID)) *Transceiver {
+	tr := &Transceiver{
+		id:    ID(len(c.trs)),
+		pos:   pos,
+		meter: meter,
+		recv:  recv,
+	}
+	c.trs = append(c.trs, tr)
+	return tr
+}
+
+// TxDuration returns the airtime of a frame of the given size.
+func (c *Channel) TxDuration(bytes int) sim.Duration {
+	return sim.Duration(float64(bytes*8) / c.params.Bitrate)
+}
+
+// Busy reports whether tr senses the channel busy: it is transmitting, or a
+// signal from a node in range is currently arriving.
+func (c *Channel) Busy(tr *Transceiver) bool {
+	now := c.k.Now()
+	if tr.txUntil > now {
+		return true
+	}
+	for _, a := range tr.arrivals {
+		if a.end > now {
+			return true
+		}
+	}
+	return false
+}
+
+// Send starts transmitting frame from tr. Delivery (or collision) at each
+// in-range receiver resolves when the frame's airtime ends. Send does not
+// carrier-sense; that is the MAC's job.
+func (c *Channel) Send(tr *Transceiver, f Frame) error {
+	now := c.k.Now()
+	if tr.down {
+		return nil // a dead radio silently drops
+	}
+	if tr.txUntil > now {
+		return ErrTxBusy
+	}
+	c.Stats.FramesSent++
+	d := c.TxDuration(f.Bytes)
+	tr.txUntil = now + d
+	if tr.meter != nil {
+		tr.meter.AddTx(d)
+	}
+	// Half-duplex: anything arriving at the sender is lost.
+	for _, a := range tr.arrivals {
+		if a.end > now {
+			a.collided = true
+		}
+	}
+	src := tr.pos.Pos(now)
+	for _, r := range c.trs {
+		if r == tr || r.down {
+			continue
+		}
+		if r.pos.Pos(now).Dist(src) > c.params.Range {
+			continue
+		}
+		prop := sim.Duration(0)
+		if c.params.PropSpeed > 0 {
+			prop = sim.Duration(r.pos.Pos(now).Dist(src) / c.params.PropSpeed)
+		}
+		arr := &arrival{frame: f, from: tr.id, start: now + prop, end: now + prop + d}
+		// Receiver transmitting during the arrival corrupts it.
+		if r.txUntil > arr.start {
+			arr.collided = true
+		}
+		// Overlap with any other in-flight arrival corrupts both.
+		for _, other := range r.arrivals {
+			if other.end > arr.start && other.start < arr.end {
+				other.collided = true
+				arr.collided = true
+			}
+		}
+		r.arrivals = append(r.arrivals, arr)
+		if r.meter != nil {
+			r.meter.AddRx(d)
+		}
+		rr := r
+		c.k.MustSchedule(arr.end-now, func() { c.finish(rr, arr) })
+	}
+	return nil
+}
+
+// finish resolves one arrival at receiver r.
+func (c *Channel) finish(r *Transceiver, arr *arrival) {
+	// Remove arr from r's in-flight list.
+	for i, a := range r.arrivals {
+		if a == arr {
+			r.arrivals = append(r.arrivals[:i], r.arrivals[i+1:]...)
+			break
+		}
+	}
+	// The receiver may have started transmitting mid-arrival.
+	if r.txUntil > arr.start && !arr.collided {
+		arr.collided = true
+	}
+	if arr.collided {
+		c.Stats.FramesCollided++
+		return
+	}
+	if r.down {
+		return
+	}
+	c.Stats.FramesDelivered++
+	if r.recv != nil {
+		r.recv(arr.frame, arr.from)
+	}
+}
+
+// InRange reports whether transceivers a and b are currently within
+// transmission range; used by topology-oracle test helpers.
+func (c *Channel) InRange(a, b *Transceiver) bool {
+	now := c.k.Now()
+	return a.pos.Pos(now).Dist(b.pos.Pos(now)) <= c.params.Range
+}
+
+// Pos returns tr's current position.
+func (c *Channel) Pos(tr *Transceiver) geo.Point { return tr.pos.Pos(c.k.Now()) }
+
+// Params returns the channel's physical-layer parameters.
+func (c *Channel) Params() Params { return c.params }

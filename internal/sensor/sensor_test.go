@@ -1,0 +1,195 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"innercircle/internal/geo"
+	"innercircle/internal/sim"
+)
+
+func TestSignalDecayLaw(t *testing.T) {
+	m := Paper()
+	if got := m.SignalAt(0.5); got != 20000 {
+		t.Fatalf("SignalAt(<d0) = %v, want KT", got)
+	}
+	if got := m.SignalAt(10); math.Abs(got-200) > 1e-9 {
+		t.Fatalf("SignalAt(10) = %v, want 20000/100 = 200", got)
+	}
+	if got := m.SignalAt(100); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("SignalAt(100) = %v, want 2", got)
+	}
+}
+
+func TestDistanceForInvertsSignal(t *testing.T) {
+	m := Paper()
+	f := func(dRaw uint8) bool {
+		d := 1 + float64(dRaw)
+		e := m.SignalAt(d)
+		got, err := m.DistanceFor(e)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-d) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.DistanceFor(0); err == nil {
+		t.Fatal("zero energy accepted")
+	}
+	if d, err := m.DistanceFor(1e9); err != nil || d != m.D0 {
+		t.Fatalf("above-plateau energy: %v/%v", d, err)
+	}
+}
+
+func TestFalseAlarmRateMatchesAlpha(t *testing.T) {
+	// With no target, P{E > 6.635} must be ~1% (chi-square, 1 dof).
+	d := NewDevice(Paper(), geo.Point{}, NeymanPearsonLambda, sim.NewRNG(5))
+	const n = 200000
+	alarms := 0
+	for i := 0; i < n; i++ {
+		if d.Sample(nil).Detected {
+			alarms++
+		}
+	}
+	rate := float64(alarms) / n
+	if rate < 0.007 || rate > 0.013 {
+		t.Fatalf("false alarm rate = %.4f, want ~0.01", rate)
+	}
+}
+
+func TestNearbyTargetAlwaysDetected(t *testing.T) {
+	d := NewDevice(Paper(), geo.Point{X: 10}, NeymanPearsonLambda, sim.NewRNG(6))
+	target := geo.Point{X: 20} // 10 m away: S = 200 >> λ
+	for i := 0; i < 1000; i++ {
+		if !d.Sample(&target).Detected {
+			t.Fatal("strong target missed")
+		}
+	}
+}
+
+func TestFarTargetRarelyDetected(t *testing.T) {
+	d := NewDevice(Paper(), geo.Point{}, NeymanPearsonLambda, sim.NewRNG(7))
+	target := geo.Point{X: 200} // S = 0.5, well under λ
+	detections := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if d.Sample(&target).Detected {
+			detections++
+		}
+	}
+	if rate := float64(detections) / n; rate > 0.05 {
+		t.Fatalf("far-target detection rate = %.4f, want small", rate)
+	}
+}
+
+func TestStuckAtZero(t *testing.T) {
+	d := NewDevice(Paper(), geo.Point{}, NeymanPearsonLambda, sim.NewRNG(8))
+	d.InjectFault(FaultStuckAtZero, PaperFaults(), geo.Square(200))
+	target := geo.Point{X: 1}
+	for i := 0; i < 100; i++ {
+		r := d.Sample(&target)
+		if r.Energy != 0 || r.Detected {
+			t.Fatalf("stuck-at-zero sensor reported %+v", r)
+		}
+	}
+}
+
+func TestCalibrationFaultScalesEnergy(t *testing.T) {
+	rng := sim.NewRNG(9)
+	healthy := NewDevice(Paper(), geo.Point{}, NeymanPearsonLambda, rng.Split("h"))
+	faulty := NewDevice(Paper(), geo.Point{}, NeymanPearsonLambda, rng.Split("f"))
+	faulty.InjectFault(FaultCalibration, PaperFaults(), geo.Square(200))
+	target := geo.Point{X: 10} // S = 200
+	var sumH, sumF float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		sumH += healthy.Sample(&target).Energy
+		sumF += faulty.Sample(&target).Energy
+	}
+	ratio := sumF / sumH
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("calibration ratio = %.3f, want ~2", ratio)
+	}
+}
+
+func TestInterferenceRaisesFalseAlarms(t *testing.T) {
+	d := NewDevice(Paper(), geo.Point{}, NeymanPearsonLambda, sim.NewRNG(10))
+	d.InjectFault(FaultInterference, PaperFaults(), geo.Square(200))
+	const n = 20000
+	alarms := 0
+	for i := 0; i < n; i++ {
+		if d.Sample(nil).Detected {
+			alarms++
+		}
+	}
+	rate := float64(alarms) / n
+	// With noise scaled ×10, P{10·N² > 6.635} = P{|N| > 0.815} ≈ 0.415.
+	if rate < 0.3 {
+		t.Fatalf("interference false-alarm rate = %.4f, want >> 1%%", rate)
+	}
+}
+
+func TestPositionFaultOnlyAffectsReportedPos(t *testing.T) {
+	d := NewDevice(Paper(), geo.Point{X: 100, Y: 100}, NeymanPearsonLambda, sim.NewRNG(11))
+	d.InjectFault(FaultPosition, PaperFaults(), geo.Square(200))
+	if d.TruePos() != (geo.Point{X: 100, Y: 100}) {
+		t.Fatal("true position changed")
+	}
+	if d.ReportedPos() == d.TruePos() {
+		t.Fatal("reported position did not change (astronomically unlikely)")
+	}
+	if !geo.Square(200).Contains(d.ReportedPos()) {
+		t.Fatal("bogus position outside region")
+	}
+	// Readings remain healthy.
+	target := geo.Point{X: 100, Y: 110}
+	if !d.Sample(&target).Detected {
+		t.Fatal("position-faulty sensor should still sense correctly")
+	}
+}
+
+func TestNotificationRoundTrip(t *testing.T) {
+	in := Notification{Time: 123.456, Energy: 78.9, Pos: geo.Point{X: 1.5, Y: -2.5}}
+	out, err := DecodeNotification(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+	if _, err := DecodeNotification([]byte{1}); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}
+
+func TestTargetActivity(t *testing.T) {
+	tg := Target{Pos: geo.Point{X: 1}, Start: 100, End: 125}
+	cases := []struct {
+		at   sim.Time
+		want bool
+	}{
+		{99, false}, {100, true}, {124.9, true}, {125, false},
+	}
+	for _, c := range cases {
+		if got := tg.ActiveAt(c.at); got != c.want {
+			t.Errorf("ActiveAt(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestFaultKindStrings(t *testing.T) {
+	if len(AllFaultKinds()) != 5 {
+		t.Fatal("AllFaultKinds should list 5 models (incl. none)")
+	}
+	for _, k := range AllFaultKinds() {
+		if k.String() == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if FaultKind(99).String() != "unknown" {
+		t.Fatal("out-of-range kind should be unknown")
+	}
+}

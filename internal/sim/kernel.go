@@ -1,0 +1,221 @@
+// Package sim provides the discrete-event simulation kernel that underlies
+// the wireless network substrate. It plays the role ns-2's event scheduler
+// played in the paper's evaluation: a virtual clock, a priority queue of
+// timestamped events, and deterministic tie-breaking so that two runs with
+// the same seed produce identical traces.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual simulation time, measured in seconds since the
+// start of the run. Virtual time is unrelated to wall-clock time; a custom
+// float type (rather than time.Time) keeps the radio/geometry math direct.
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+type Duration = Time
+
+// Common durations, in seconds.
+const (
+	Microsecond Duration = 1e-6
+	Millisecond Duration = 1e-3
+	Second      Duration = 1
+)
+
+// Never is a sentinel time later than any event a simulation can schedule.
+const Never Time = Time(math.MaxFloat64)
+
+// String formats the time with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", float64(t)) }
+
+// EventID identifies a scheduled event so it can be cancelled.
+// The zero EventID is never issued and is safe to use as "no event".
+type EventID uint64
+
+// event is a scheduled callback.
+type event struct {
+	at     Time
+	seq    uint64 // scheduling order, breaks ties deterministically
+	id     EventID
+	fn     func()
+	index  int // heap index
+	cancel bool
+}
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		return
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// ErrPastEvent is returned when an event is scheduled before the current
+// virtual time.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// Kernel is a discrete-event scheduler. The zero value is not usable; use
+// NewKernel. Kernel is not safe for concurrent use: a simulation is a
+// single-threaded interleaving of events, which is what makes runs
+// reproducible.
+type Kernel struct {
+	now     Time
+	queue   eventHeap
+	nextSeq uint64
+	nextID  EventID
+	byID    map[EventID]*event
+	stopped bool
+
+	// processed counts events executed, for diagnostics and run limits.
+	processed uint64
+	// limit, when non-zero, aborts Run after this many events as a
+	// runaway-loop backstop.
+	limit uint64
+}
+
+// NewKernel returns a kernel with the clock at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{byID: make(map[EventID]*event)}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Processed reports the number of events executed so far.
+func (k *Kernel) Processed() uint64 { return k.processed }
+
+// SetEventLimit sets a backstop: Run returns an error after n events.
+// n == 0 disables the limit.
+func (k *Kernel) SetEventLimit(n uint64) { k.limit = n }
+
+// Schedule runs fn after delay. A negative delay is an error.
+func (k *Kernel) Schedule(delay Duration, fn func()) (EventID, error) {
+	return k.ScheduleAt(k.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time at.
+func (k *Kernel) ScheduleAt(at Time, fn func()) (EventID, error) {
+	if at < k.now {
+		return 0, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, k.now)
+	}
+	k.nextSeq++
+	k.nextID++
+	ev := &event{at: at, seq: k.nextSeq, id: k.nextID, fn: fn}
+	heap.Push(&k.queue, ev)
+	k.byID[ev.id] = ev
+	return ev.id, nil
+}
+
+// MustSchedule is Schedule for callers that control delay and know it is
+// non-negative; it drops the event (and reports false) instead of erroring.
+func (k *Kernel) MustSchedule(delay Duration, fn func()) EventID {
+	id, err := k.Schedule(delay, fn)
+	if err != nil {
+		return 0
+	}
+	return id
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or unknown
+// event is a no-op and reports false.
+func (k *Kernel) Cancel(id EventID) bool {
+	ev, ok := k.byID[id]
+	if !ok {
+		return false
+	}
+	ev.cancel = true
+	delete(k.byID, id)
+	return true
+}
+
+// Pending reports the number of events still queued (including events
+// cancelled but not yet drained).
+func (k *Kernel) Pending() int { return len(k.byID) }
+
+// Stop makes Run return after the currently executing event.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports false when the queue is empty.
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		ev, ok := heap.Pop(&k.queue).(*event)
+		if !ok {
+			return false
+		}
+		if ev.cancel {
+			continue
+		}
+		delete(k.byID, ev.id)
+		k.now = ev.at
+		k.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty, the clock passes until, or
+// Stop is called. The clock is left at min(until, last event time); if the
+// queue drains before until, the clock advances to until so that callers
+// measuring elapsed time (e.g. idle energy) see the full window.
+func (k *Kernel) Run(until Time) error {
+	k.stopped = false
+	for !k.stopped {
+		if k.limit > 0 && k.processed >= k.limit {
+			return fmt.Errorf("sim: event limit %d reached at %v", k.limit, k.now)
+		}
+		for len(k.queue) > 0 && k.queue[0].cancel {
+			heap.Pop(&k.queue)
+		}
+		if len(k.queue) == 0 {
+			break
+		}
+		next := k.queue[0]
+		if next.at > until {
+			break
+		}
+		k.Step()
+	}
+	if k.now < until && until != Never && !k.stopped {
+		k.now = until
+	}
+	return nil
+}
+
+// RunAll executes events until the queue is fully drained or Stop is called.
+func (k *Kernel) RunAll() error { return k.Run(Never) }

@@ -1,0 +1,324 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelStartsAtZero(t *testing.T) {
+	k := NewKernel()
+	if got := k.Now(); got != 0 {
+		t.Fatalf("Now() = %v, want 0", got)
+	}
+}
+
+func TestScheduleRunsInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	if _, err := k.Schedule(3, func() { order = append(order, 3) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Schedule(1, func() { order = append(order, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Schedule(2, func() { order = append(order, 2) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTiesBreakInSchedulingOrder(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := k.Schedule(5, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("tie order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	k := NewKernel()
+	var at Time
+	if _, err := k.Schedule(2.5, func() { at = k.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 2.5 {
+		t.Fatalf("event saw Now() = %v, want 2.5", at)
+	}
+}
+
+func TestSchedulePastFails(t *testing.T) {
+	k := NewKernel()
+	if _, err := k.Schedule(1, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.ScheduleAt(0.5, func() {}); !errors.Is(err, ErrPastEvent) {
+		t.Fatalf("ScheduleAt(past) err = %v, want ErrPastEvent", err)
+	}
+	if _, err := k.Schedule(-1, func() {}); !errors.Is(err, ErrPastEvent) {
+		t.Fatalf("Schedule(-1) err = %v, want ErrPastEvent", err)
+	}
+}
+
+func TestCancelPreventsExecution(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	id, err := k.Schedule(1, func() { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.Cancel(id) {
+		t.Fatal("Cancel reported no pending event")
+	}
+	if k.Cancel(id) {
+		t.Fatal("second Cancel should report false")
+	}
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestRunStopsAtHorizon(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	for _, d := range []Duration{1, 2, 3, 4} {
+		d := d
+		if _, err := k.Schedule(d, func() { fired = append(fired, d) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Run(2.5); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %v events before horizon, want 2", fired)
+	}
+	if k.Now() != 2.5 {
+		t.Fatalf("Now() = %v after Run(2.5), want 2.5", k.Now())
+	}
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 4 {
+		t.Fatalf("fired %v, want all 4 after RunAll", fired)
+	}
+}
+
+func TestRunAdvancesClockToHorizonWhenIdle(t *testing.T) {
+	k := NewKernel()
+	if err := k.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != 100 {
+		t.Fatalf("Now() = %v, want 100", k.Now())
+	}
+}
+
+func TestStopAbortsRun(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	for i := 0; i < 10; i++ {
+		if _, err := k.Schedule(Duration(i+1), func() {
+			count++
+			if count == 3 {
+				k.Stop()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("executed %d events, want 3 (stopped)", count)
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	k := NewKernel()
+	var times []Time
+	if _, err := k.Schedule(1, func() {
+		times = append(times, k.Now())
+		k.MustSchedule(1, func() { times = append(times, k.Now()) })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 || times[0] != 1 || times[1] != 2 {
+		t.Fatalf("times = %v, want [1 2]", times)
+	}
+}
+
+func TestEventLimitBackstop(t *testing.T) {
+	k := NewKernel()
+	k.SetEventLimit(100)
+	var loop func()
+	loop = func() { k.MustSchedule(1, loop) }
+	k.MustSchedule(1, loop)
+	if err := k.RunAll(); err == nil {
+		t.Fatal("RunAll with runaway loop returned nil, want limit error")
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	k := NewKernel()
+	id1, _ := k.Schedule(1, func() {})
+	if _, err := k.Schedule(2, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Pending(); got != 2 {
+		t.Fatalf("Pending() = %d, want 2", got)
+	}
+	k.Cancel(id1)
+	if got := k.Pending(); got != 1 {
+		t.Fatalf("Pending() after cancel = %d, want 1", got)
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in nondecreasing
+// time order and the clock never moves backwards.
+func TestPropertyMonotonicClock(t *testing.T) {
+	f := func(raw []uint16) bool {
+		k := NewKernel()
+		last := Time(-1)
+		ok := true
+		for _, r := range raw {
+			d := Duration(r) / 100
+			k.MustSchedule(d, func() {
+				if k.Now() < last {
+					ok = false
+				}
+				last = k.Now()
+			})
+		}
+		if err := k.RunAll(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimerResetAndStop(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	tm := NewTimer(k, func() { fired++ })
+	tm.Reset(5)
+	tm.Reset(10) // supersedes the first arming
+	if !tm.Active() {
+		t.Fatal("timer should be active")
+	}
+	if err := k.Run(7); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatalf("timer fired at old deadline; fired=%d", fired)
+	}
+	if err := k.Run(11); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	tm.Reset(5)
+	if !tm.Stop() {
+		t.Fatal("Stop should report a pending firing")
+	}
+	if err := k.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("stopped timer fired; fired=%d", fired)
+	}
+}
+
+func TestTickerPeriodAndStop(t *testing.T) {
+	k := NewKernel()
+	var ticks []Time
+	tk := NewTicker(k, 2, nil, func() { ticks = append(ticks, k.Now()) })
+	if err := k.Run(7); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != 3 {
+		t.Fatalf("ticks = %v, want 3 ticks at 2,4,6", ticks)
+	}
+	tk.Stop()
+	if err := k.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != 3 {
+		t.Fatalf("ticker ticked after Stop: %v", ticks)
+	}
+}
+
+func TestTickerJitter(t *testing.T) {
+	k := NewKernel()
+	g := NewRNG(1)
+	var ticks []Time
+	NewTicker(k, 1, func() Duration { return g.Jitter(0.5) }, func() {
+		ticks = append(ticks, k.Now())
+	})
+	if err := k.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) < 6 || len(ticks) > 10 {
+		t.Fatalf("jittered ticker produced %d ticks in 10s with period 1+U(0,0.5), want 6..10", len(ticks))
+	}
+	for i := 1; i < len(ticks); i++ {
+		gap := ticks[i] - ticks[i-1]
+		if gap < 1 || gap > 1.5+1e-9 {
+			t.Fatalf("tick gap %v outside [1, 1.5]", gap)
+		}
+	}
+}
+
+func TestTimerStopOnInactive(t *testing.T) {
+	k := NewKernel()
+	tm := NewTimer(k, func() {})
+	if tm.Stop() {
+		t.Fatal("Stop on never-armed timer reported pending")
+	}
+	if tm.Active() {
+		t.Fatal("never-armed timer is active")
+	}
+}
+
+func TestNeverIsLaterThanAnything(t *testing.T) {
+	if !(Never > Time(math.MaxFloat32)) {
+		t.Fatal("Never is not large")
+	}
+}

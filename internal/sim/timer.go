@@ -1,0 +1,93 @@
+package sim
+
+// Timer is a resettable one-shot timer on the simulation clock, the building
+// block for protocol timeouts (route expiry, voting-round deadlines, beacon
+// periods). The zero value is not usable; use NewTimer.
+type Timer struct {
+	k  *Kernel
+	fn func()
+	id EventID
+	at Time
+}
+
+// NewTimer returns a stopped timer that runs fn on the kernel when it fires.
+func NewTimer(k *Kernel, fn func()) *Timer {
+	return &Timer{k: k, fn: fn}
+}
+
+// Reset (re)arms the timer to fire after delay, cancelling any pending
+// firing.
+func (t *Timer) Reset(delay Duration) {
+	t.Stop()
+	t.at = t.k.Now() + delay
+	t.id = t.k.MustSchedule(delay, func() {
+		t.id = 0
+		t.fn()
+	})
+}
+
+// Stop cancels a pending firing. It reports whether a firing was pending.
+func (t *Timer) Stop() bool {
+	if t.id == 0 {
+		return false
+	}
+	ok := t.k.Cancel(t.id)
+	t.id = 0
+	return ok
+}
+
+// Active reports whether a firing is pending.
+func (t *Timer) Active() bool { return t.id != 0 }
+
+// Deadline returns the time of the pending firing; meaningful only while
+// Active.
+func (t *Timer) Deadline() Time { return t.at }
+
+// Ticker invokes fn every period until stopped. Periods may be jittered per
+// tick via the optional jitter function, which returns an extra delay to add
+// to the nominal period (protocols use this to avoid synchronized beacon
+// collisions).
+type Ticker struct {
+	k       *Kernel
+	fn      func()
+	period  Duration
+	jitter  func() Duration
+	id      EventID
+	stopped bool
+}
+
+// NewTicker returns a started ticker; the first tick fires after an initial
+// delay of period (plus jitter).
+func NewTicker(k *Kernel, period Duration, jitter func() Duration, fn func()) *Ticker {
+	t := &Ticker{k: k, fn: fn, period: period, jitter: jitter}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	d := t.period
+	if t.jitter != nil {
+		d += t.jitter()
+	}
+	t.id = t.k.MustSchedule(d, t.tick)
+}
+
+func (t *Ticker) tick() {
+	t.id = 0
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.arm()
+	}
+}
+
+// Stop halts future ticks. A tick currently executing completes.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.id != 0 {
+		t.k.Cancel(t.id)
+		t.id = 0
+	}
+}

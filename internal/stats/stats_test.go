@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleMoments(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-9 {
+		t.Fatalf("Mean = %v, want 5", s.Mean())
+	}
+	// Population variance is 4; unbiased sample variance = 32/7.
+	if math.Abs(s.Var()-32.0/7) > 1e-9 {
+		t.Fatalf("Var = %v, want %v", s.Var(), 32.0/7)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Var() != 0 || s.CI95() != 0 {
+		t.Fatal("empty sample should be all zeros")
+	}
+	s.Add(42)
+	if s.Mean() != 42 || s.Var() != 0 || s.CI95() != 0 {
+		t.Fatalf("single observation: mean=%v var=%v", s.Mean(), s.Var())
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	mk := func(n int) float64 {
+		var s Sample
+		for i := 0; i < n; i++ {
+			s.Add(float64(i % 10))
+		}
+		return s.CI95()
+	}
+	if !(mk(1000) < mk(100) && mk(100) < mk(20)) {
+		t.Fatal("CI95 does not shrink with sample size")
+	}
+}
+
+// Property: mean lies within [min, max] of the added values.
+func TestPropertyMeanBounded(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		var s Sample
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true // skip pathological magnitudes (fp error dominates)
+			}
+			s.Add(x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return s.Mean() >= lo-1e-6 && s.Mean() <= hi+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableAccumulation(t *testing.T) {
+	tb := NewTable("Fig X", "config")
+	tb.Add("No IC", "0", 98)
+	tb.Add("No IC", "0", 96)
+	tb.Add("No IC", "1", 9)
+	tb.Add("IC L=1", "0", 88)
+	if got := tb.Mean("No IC", "0"); math.Abs(got-97) > 1e-9 {
+		t.Fatalf("Mean = %v, want 97", got)
+	}
+	if !math.IsNaN(tb.Mean("IC L=1", "1")) {
+		t.Fatal("empty cell should be NaN")
+	}
+	if rows := tb.Rows(); len(rows) != 2 || rows[0] != "No IC" {
+		t.Fatalf("rows = %v", rows)
+	}
+	if cols := tb.Cols(); len(cols) != 2 || cols[0] != "0" {
+		t.Fatalf("cols = %v", cols)
+	}
+	out := tb.String()
+	if !strings.Contains(out, "Fig X") || !strings.Contains(out, "No IC") {
+		t.Fatalf("render missing labels:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatal("empty cell should render as -")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile should be NaN")
+	}
+	// Input must not be reordered.
+	if xs[0] != 5 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestSampleString(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(3)
+	if got := s.String(); !strings.Contains(got, "±") {
+		t.Fatalf("String = %q", got)
+	}
+}

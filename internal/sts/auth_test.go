@@ -1,0 +1,67 @@
+package sts
+
+import (
+	"testing"
+)
+
+func TestSimAuthSignVerify(t *testing.T) {
+	seed := []byte("network-seed")
+	a := NewSimAuth(seed, 3, 64)
+	msg := []byte("beacon contents")
+	sig := a.Sign(msg)
+	if len(sig) != 64 {
+		t.Fatalf("sig length = %d, want padded 64", len(sig))
+	}
+	if a.SigBytes() != 64 {
+		t.Fatalf("SigBytes = %d", a.SigBytes())
+	}
+	// Any node's SimAuth can verify node 3's signature.
+	b := NewSimAuth(seed, 7, 64)
+	if err := b.Verify(3, msg, sig); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestSimAuthRejectsForgery(t *testing.T) {
+	seed := []byte("network-seed")
+	a := NewSimAuth(seed, 3, 64)
+	b := NewSimAuth(seed, 7, 64)
+	msg := []byte("beacon")
+	sig := a.Sign(msg)
+	// Wrong claimed identity.
+	if err := b.Verify(5, msg, sig); err == nil {
+		t.Fatal("signature verified under wrong identity")
+	}
+	// Tampered message.
+	if err := b.Verify(3, []byte("other"), sig); err == nil {
+		t.Fatal("signature verified for tampered message")
+	}
+	// Truncated signature.
+	if err := b.Verify(3, msg, sig[:8]); err == nil {
+		t.Fatal("short signature accepted")
+	}
+}
+
+func TestSimAuthMinimumSize(t *testing.T) {
+	a := NewSimAuth([]byte("s"), 1, 4)
+	if a.SigBytes() < 32 {
+		t.Fatalf("SigBytes = %d, want >= 32 (HMAC must fit)", a.SigBytes())
+	}
+}
+
+func TestRSAAndSimAuthInteropWithSTS(t *testing.T) {
+	// SimAuth-configured networks behave like RSA ones at the protocol
+	// level: discovery in a 3-clique.
+	cfg := DefaultConfig()
+	cfg.Handshake = false
+	h := buildSTSWithSimAuth(t, line(2), cfg)
+	if err := h.k.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	if !h.svcs[0].IsNeighbor(1) || !h.svcs[1].IsNeighbor(0) {
+		t.Fatal("SimAuth network did not discover neighbours")
+	}
+	if h.svcs[0].Stats.BeaconsRejected != 0 {
+		t.Fatalf("rejected %d beacons, want 0", h.svcs[0].Stats.BeaconsRejected)
+	}
+}

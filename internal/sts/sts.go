@@ -1,0 +1,371 @@
+// Package sts implements the Secure Topology Service of §4.1: periodic
+// authenticated beacons discover bidirectional links up to two hops away
+// and give each node a local topology view, so it can determine which
+// inner-circles it should participate in.
+//
+// Authentication has two parts, per the paper: a Needham–Schroeder–Lowe
+// handshake (package nsl) authenticates a newly discovered neighbour link,
+// and every beacon is signed by its sender, so neighbour lists cannot be
+// forged on behalf of other nodes. Links without a beacon in the last
+// ∆STS are excluded (the Completeness property); fresh one- and two-hop
+// links appear within a beacon period (the Accuracy properties).
+package sts
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"innercircle/internal/crypto/nsl"
+	"innercircle/internal/link"
+	"innercircle/internal/sim"
+)
+
+// Config parameterizes the service.
+type Config struct {
+	// Period is the beacon period τ; the paper requires τ < ∆STS/2.
+	Period sim.Duration
+	// Delta is ∆STS: links with no beacon for Delta are excluded.
+	Delta sim.Duration
+	// Authenticate enables beacon signatures. The "No IC" baselines run
+	// with it off (plain hello beacons).
+	Authenticate bool
+	// Handshake additionally runs the NSL link-authentication handshake
+	// before a neighbour is trusted. Large sweeps may disable it (beacons
+	// remain signed); see DESIGN.md.
+	Handshake bool
+	// BeaconBaseBytes is the fixed part of the beacon size.
+	BeaconBaseBytes int
+}
+
+// DefaultConfig returns the ad hoc scenario parameters (∆STS = 2 s).
+func DefaultConfig() Config {
+	return Config{Period: 0.9, Delta: 2, Authenticate: true, Handshake: true, BeaconBaseBytes: 28}
+}
+
+// Deps are the node-local services the STS builds on.
+type Deps struct {
+	ID   link.NodeID
+	K    *sim.Kernel
+	Link *link.Service
+	RNG  *sim.RNG
+	// Auth signs/verifies beacons; required when Config.Authenticate is
+	// set.
+	Auth BeaconAuth
+	// Party runs the NSL handshake; required when Config.Handshake is set.
+	Party *nsl.Party
+}
+
+// BeaconMsg is the periodic STS broadcast: the sender's identity and its
+// current (authenticated, timely) neighbour list, signed by the sender.
+type BeaconMsg struct {
+	From      link.NodeID
+	Seq       uint64
+	Neighbors []link.NodeID
+	Sig       []byte
+	Base      int
+}
+
+// Size implements link.Message.
+func (b BeaconMsg) Size() int { return b.Base + 8*len(b.Neighbors) + len(b.Sig) }
+
+// HandshakeMsg carries one NSL protocol message between two nodes.
+type HandshakeMsg struct {
+	Phase  int // 1, 2 or 3
+	Cipher []byte
+}
+
+// Size implements link.Message.
+func (h HandshakeMsg) Size() int { return 4 + len(h.Cipher) }
+
+// neighEntry is what this node knows about one neighbour.
+type neighEntry struct {
+	lastBeacon    sim.Time
+	lastSeq       uint64
+	authenticated bool
+	theirNeigh    []link.NodeID
+	theirNeighAt  sim.Time
+	handshakeSent bool
+}
+
+// Stats counts STS activity.
+type Stats struct {
+	BeaconsSent     uint64
+	BeaconsReceived uint64
+	BeaconsRejected uint64 // bad signature or stale sequence
+	Handshakes      uint64 // completed link authentications
+}
+
+// Service is one node's secure topology service. Not safe for concurrent
+// use.
+type Service struct {
+	cfg    Config
+	deps   Deps
+	ticker *sim.Ticker
+	seq    uint64
+	neigh  map[link.NodeID]*neighEntry
+
+	onChange func()
+
+	// Stats exposes counters to the experiment harness.
+	Stats Stats
+}
+
+// New creates a stopped service; call Start to begin beaconing.
+func New(cfg Config, deps Deps) (*Service, error) {
+	if cfg.Period <= 0 || cfg.Delta <= 0 {
+		return nil, fmt.Errorf("sts: period and delta must be positive")
+	}
+	if cfg.Period >= cfg.Delta/2 {
+		return nil, fmt.Errorf("sts: period %v must be < delta/2 = %v", cfg.Period, cfg.Delta/2)
+	}
+	if cfg.Authenticate && deps.Auth == nil {
+		return nil, fmt.Errorf("sts: authentication requires Auth")
+	}
+	if cfg.Handshake && (!cfg.Authenticate || deps.Party == nil) {
+		return nil, fmt.Errorf("sts: handshake requires Authenticate and Party")
+	}
+	return &Service{cfg: cfg, deps: deps, neigh: make(map[link.NodeID]*neighEntry)}, nil
+}
+
+// OnChange registers a callback invoked whenever the neighbour set may have
+// changed.
+func (s *Service) OnChange(fn func()) { s.onChange = fn }
+
+// Start begins periodic beaconing; the first beacon goes out immediately
+// (with a small jitter) so cold-started networks converge within one
+// period.
+func (s *Service) Start() {
+	s.sendBeacon()
+	s.ticker = sim.NewTicker(s.deps.K, s.cfg.Period, func() sim.Duration {
+		return s.deps.RNG.Jitter(s.cfg.Period / 10)
+	}, s.sendBeacon)
+}
+
+// Stop halts beaconing.
+func (s *Service) Stop() {
+	if s.ticker != nil {
+		s.ticker.Stop()
+	}
+}
+
+func (s *Service) sendBeacon() {
+	s.seq++
+	b := BeaconMsg{
+		From:      s.deps.ID,
+		Seq:       s.seq,
+		Neighbors: s.Neighbors(),
+		Base:      s.cfg.BeaconBaseBytes,
+	}
+	if s.cfg.Authenticate {
+		b.Sig = s.deps.Auth.Sign(beaconDigest(b))
+	}
+	s.Stats.BeaconsSent++
+	_ = s.deps.Link.SendRaw(link.BroadcastID, b)
+}
+
+// beaconDigest returns the canonical bytes covered by the beacon signature.
+func beaconDigest(b BeaconMsg) []byte {
+	buf := make([]byte, 0, 16+8*len(b.Neighbors))
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], uint64(b.From))
+	buf = append(buf, tmp[:]...)
+	binary.BigEndian.PutUint64(tmp[:], b.Seq)
+	buf = append(buf, tmp[:]...)
+	for _, n := range b.Neighbors {
+		binary.BigEndian.PutUint64(tmp[:], uint64(n))
+		buf = append(buf, tmp[:]...)
+	}
+	return buf
+}
+
+// HandleEnv processes STS traffic; it returns true when the envelope was an
+// STS message (consumed), false otherwise.
+func (s *Service) HandleEnv(e link.Env) bool {
+	switch m := e.Msg.(type) {
+	case BeaconMsg:
+		s.onBeacon(e.From, m)
+		return true
+	case HandshakeMsg:
+		s.onHandshake(e.From, m)
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Service) onBeacon(from link.NodeID, b BeaconMsg) {
+	if from != b.From {
+		s.Stats.BeaconsRejected++
+		return // spoofed source
+	}
+	if s.cfg.Authenticate {
+		if err := s.deps.Auth.Verify(b.From, beaconDigest(b), b.Sig); err != nil {
+			s.Stats.BeaconsRejected++
+			return
+		}
+	}
+	now := s.deps.K.Now()
+	ent, known := s.neigh[b.From]
+	if !known {
+		ent = &neighEntry{}
+		s.neigh[b.From] = ent
+	}
+	if known && b.Seq <= ent.lastSeq {
+		s.Stats.BeaconsRejected++
+		return // replayed or reordered beacon
+	}
+	s.Stats.BeaconsReceived++
+	ent.lastBeacon = now
+	ent.lastSeq = b.Seq
+	ent.theirNeigh = append([]link.NodeID(nil), b.Neighbors...)
+	ent.theirNeighAt = now
+	if !s.cfg.Handshake {
+		ent.authenticated = true
+	} else if !ent.authenticated && !ent.handshakeSent && s.deps.ID < b.From {
+		// Deterministic initiator selection: lower ID initiates.
+		m1, err := s.deps.Party.Initiate(int64(b.From))
+		if err == nil {
+			ent.handshakeSent = true
+			_ = s.deps.Link.SendRaw(b.From, HandshakeMsg{Phase: 1, Cipher: m1.Cipher})
+		}
+	}
+	s.changed()
+}
+
+func (s *Service) onHandshake(from link.NodeID, h HandshakeMsg) {
+	if !s.cfg.Handshake {
+		return
+	}
+	switch h.Phase {
+	case 1:
+		m2, err := s.deps.Party.OnMsg1(nsl.Msg1{To: int64(s.deps.ID), Cipher: h.Cipher})
+		if err != nil {
+			return
+		}
+		_ = s.deps.Link.SendRaw(from, HandshakeMsg{Phase: 2, Cipher: m2.Cipher})
+	case 2:
+		m3, _, err := s.deps.Party.OnMsg2(int64(from), nsl.Msg2{To: int64(s.deps.ID), Cipher: h.Cipher})
+		if err != nil {
+			return
+		}
+		_ = s.deps.Link.SendRaw(from, HandshakeMsg{Phase: 3, Cipher: m3.Cipher})
+		s.markAuthenticated(from)
+	case 3:
+		if _, err := s.deps.Party.OnMsg3(int64(from), nsl.Msg3{To: int64(s.deps.ID), Cipher: h.Cipher}); err != nil {
+			return
+		}
+		s.markAuthenticated(from)
+	}
+}
+
+func (s *Service) markAuthenticated(id link.NodeID) {
+	ent, ok := s.neigh[id]
+	if !ok {
+		ent = &neighEntry{}
+		s.neigh[id] = ent
+	}
+	if !ent.authenticated {
+		ent.authenticated = true
+		s.Stats.Handshakes++
+		s.changed()
+	}
+}
+
+func (s *Service) changed() {
+	if s.onChange != nil {
+		s.onChange()
+	}
+}
+
+// timely reports whether the entry's last beacon is within ∆STS.
+func (s *Service) timely(ent *neighEntry) bool {
+	return ent.lastBeacon > 0 && s.deps.K.Now()-ent.lastBeacon <= s.cfg.Delta
+}
+
+// IsNeighbor reports whether q is currently an authenticated, timely
+// one-hop neighbour.
+func (s *Service) IsNeighbor(q link.NodeID) bool {
+	ent, ok := s.neigh[q]
+	return ok && ent.authenticated && s.timely(ent)
+}
+
+// Neighbors returns the current one-hop view, sorted by ID.
+func (s *Service) Neighbors() []link.NodeID {
+	out := make([]link.NodeID, 0, len(s.neigh))
+	for id, ent := range s.neigh {
+		if ent.authenticated && s.timely(ent) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NeighborsOf returns the most recently reported neighbour list of
+// one-hop neighbour p (the two-hop view), or nil if p is not a timely
+// neighbour.
+func (s *Service) NeighborsOf(p link.NodeID) []link.NodeID {
+	ent, ok := s.neigh[p]
+	if !ok || !ent.authenticated || !s.timely(ent) {
+		return nil
+	}
+	return append([]link.NodeID(nil), ent.theirNeigh...)
+}
+
+// IsLink reports whether the two-hop view contains the directed link
+// p -> q: p is a timely neighbour and p's last beacon listed q.
+func (s *Service) IsLink(p, q link.NodeID) bool {
+	for _, n := range s.NeighborsOf(p) {
+		if n == q {
+			return true
+		}
+	}
+	return false
+}
+
+// IsTwoHop reports whether q is reachable through some timely neighbour
+// but is not itself a neighbour (nor this node).
+func (s *Service) IsTwoHop(q link.NodeID) bool {
+	if q == s.deps.ID || s.IsNeighbor(q) {
+		return false
+	}
+	for _, p := range s.Neighbors() {
+		if s.IsLink(p, q) {
+			return true
+		}
+	}
+	return false
+}
+
+// TwoHopCount returns the number of distinct two-hop nodes in the current
+// view.
+func (s *Service) TwoHopCount() int {
+	seen := make(map[link.NodeID]bool)
+	for _, p := range s.Neighbors() {
+		for _, q := range s.NeighborsOf(p) {
+			if q == s.deps.ID || s.IsNeighbor(q) {
+				continue
+			}
+			seen[q] = true
+		}
+	}
+	return len(seen)
+}
+
+// InnerCircleOf returns the nodes this node believes form center's
+// inner circle (center's neighbours per the two-hop view), excluding this
+// node itself. When center is this node, its own neighbour list is
+// returned.
+func (s *Service) InnerCircleOf(center link.NodeID) []link.NodeID {
+	if center == s.deps.ID {
+		return s.Neighbors()
+	}
+	var out []link.NodeID
+	for _, n := range s.NeighborsOf(center) {
+		if n != s.deps.ID {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package vote
+
+import "innercircle/internal/sim"
+
+// CryptoProfile models where a node runs its threshold-signature
+// operations: the paper's node architecture (Fig. 1–2) includes a
+// dedicated Crypto-Processor precisely because software signing on
+// embedded CPUs is slow and energy-hungry ("up to two orders of magnitude
+// less energy than in software implementations"). A profile adds
+// processing delay before partial signatures, combinations and
+// verifications, and charges the per-operation energy to the node's
+// meter via the EnergySink.
+//
+// The zero profile (Instant) models infinitely fast, free crypto — the
+// default, appropriate when the experiment under study is not about
+// crypto cost.
+type CryptoProfile struct {
+	// SignDelay is the latency of one partial signature.
+	SignDelay sim.Duration
+	// CombineDelay is the latency of assembling a combined signature.
+	CombineDelay sim.Duration
+	// VerifyDelay is the latency of one verification.
+	VerifyDelay sim.Duration
+	// SignEnergy, CombineEnergy and VerifyEnergy are joules per operation.
+	SignEnergy    float64
+	CombineEnergy float64
+	VerifyEnergy  float64
+}
+
+// Instant returns the zero-cost profile.
+func Instant() CryptoProfile { return CryptoProfile{} }
+
+// SoftwareCrypto models 1024-bit threshold RSA on a ~200 MHz embedded CPU
+// (order-of-magnitude figures from contemporaneous measurements: tens of
+// milliseconds per private-key operation at ~100 mW active draw).
+func SoftwareCrypto() CryptoProfile {
+	return CryptoProfile{
+		SignDelay:    50 * sim.Millisecond,
+		CombineDelay: 20 * sim.Millisecond,
+		VerifyDelay:  3 * sim.Millisecond,
+		// 100 mW CPU draw over the operation.
+		SignEnergy:    0.005,
+		CombineEnergy: 0.002,
+		VerifyEnergy:  0.0003,
+	}
+}
+
+// HardwareCrypto models the paper's Crypto-Processor: roughly 10× faster
+// and 100× more energy-efficient than the software path.
+func HardwareCrypto() CryptoProfile {
+	return CryptoProfile{
+		SignDelay:     5 * sim.Millisecond,
+		CombineDelay:  2 * sim.Millisecond,
+		VerifyDelay:   0.3 * sim.Millisecond,
+		SignEnergy:    0.00005,
+		CombineEnergy: 0.00002,
+		VerifyEnergy:  0.000003,
+	}
+}
+
+// zero reports whether the profile is the free Instant profile.
+func (p CryptoProfile) zero() bool {
+	return p == CryptoProfile{}
+}
+
+// EnergySink receives the crypto energy charges (the node's meter exposes
+// a compatible method through an adapter in package node).
+type EnergySink interface {
+	// AddEnergy charges joules of processing energy.
+	AddEnergy(j float64)
+}

@@ -1,0 +1,58 @@
+// Package vote implements the Inner-circle Voting Service of §4.2: the
+// deterministic voting algorithm (Fig. 3a), which prevents illegitimate
+// values from propagating, and the statistical voting algorithm (Fig. 3b),
+// which improves a proposed value's accuracy by fusing it with the
+// inner-circle's own observations. Both are parameterized by a
+// dependability level L: agreement requires L neighbours to co-sign with
+// their shares of the level key K_L, and the resulting agreed message is
+// self-checking — any remote recipient verifies the threshold signature to
+// confirm L+1 nodes cooperated.
+package vote
+
+import (
+	"fmt"
+
+	"innercircle/internal/crypto/thresh"
+)
+
+// PublicRing maps each dependability level L to its group key (threshold
+// L, so L+1 partial signatures combine). Every node holds the ring; it is
+// public material.
+type PublicRing map[int]thresh.GroupKey
+
+// NodeKeys maps each dependability level to this node's signer (its share
+// of K_L). Only the owning node holds these.
+type NodeKeys map[int]thresh.Signer
+
+// DealRing uses dealer to create one group key per dependability level
+// 1..maxL, each with threshold L shared among n nodes, and returns the
+// public ring plus per-node key sets. Node i (0-based) receives share
+// index i+1 of every level key — matching the paper's trusted-dealer
+// initialization (§2).
+func DealRing(dealer thresh.Dealer, maxL, n int) (PublicRing, []NodeKeys, error) {
+	if maxL < 1 {
+		return nil, nil, fmt.Errorf("vote: maxL must be >= 1, got %d", maxL)
+	}
+	if n < 2 {
+		return nil, nil, fmt.Errorf("vote: need at least 2 nodes, got %d", n)
+	}
+	ring := make(PublicRing, maxL)
+	nodeKeys := make([]NodeKeys, n)
+	for i := range nodeKeys {
+		nodeKeys[i] = make(NodeKeys, maxL)
+	}
+	for level := 1; level <= maxL; level++ {
+		if level+1 > n {
+			break // not enough players to ever reach this level
+		}
+		gk, signers, err := dealer.Deal(level, n)
+		if err != nil {
+			return nil, nil, fmt.Errorf("vote: deal level %d: %w", level, err)
+		}
+		ring[level] = gk
+		for i, s := range signers {
+			nodeKeys[i][level] = s
+		}
+	}
+	return ring, nodeKeys, nil
+}

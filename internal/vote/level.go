@@ -1,0 +1,52 @@
+package vote
+
+import "fmt"
+
+// LevelFor computes the dependability level of §4.2: given an inner circle
+// of n nodes (including the center) and a failure budget of fb Byzantine
+// nodes, fc crashes, and fl broken links, setting
+//
+//	L = N − F − 1,  F = fb + fc + fl
+//
+// guarantees the Agreement, Integrity and Termination properties with at
+// least T = L − fb non-Byzantine participants in every round that
+// completes.
+func LevelFor(n, fb, fc, fl int) (int, error) {
+	if n < 2 {
+		return 0, fmt.Errorf("vote: inner circle of %d nodes cannot vote", n)
+	}
+	if fb < 0 || fc < 0 || fl < 0 {
+		return 0, fmt.Errorf("vote: negative failure budget")
+	}
+	f := fb + fc + fl
+	l := n - f - 1
+	if l < 1 {
+		return 0, fmt.Errorf("vote: %d nodes cannot tolerate %d failures (L = %d < 1)", n, f, l)
+	}
+	return l, nil
+}
+
+// MinNonByzantine returns T, the guaranteed number of non-Byzantine
+// participants in a completed round at level l with fb Byzantine members.
+func MinNonByzantine(l, fb int) int {
+	t := l - fb
+	if t < 0 {
+		return 0
+	}
+	return t
+}
+
+// ByzantineLevel returns the §4.2 special case: the level L with
+// L + 1 = ⌈2N/3⌉, which (ignoring crashes and link failures) tolerates
+// N/3 − 1 Byzantine members and guarantees that a majority of correct
+// nodes must approve — the standard Byzantine-agreement configuration.
+func ByzantineLevel(n int) (int, error) {
+	if n < 4 {
+		return 0, fmt.Errorf("vote: Byzantine agreement needs at least 4 nodes, got %d", n)
+	}
+	l := (2*n+2)/3 - 1 // ceil(2n/3) - 1
+	if l < 1 {
+		l = 1
+	}
+	return l, nil
+}

@@ -1,0 +1,710 @@
+package vote
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+
+	"innercircle/internal/crypto/nsl"
+	"innercircle/internal/crypto/thresh"
+	"innercircle/internal/icnet"
+	"innercircle/internal/link"
+	"innercircle/internal/sim"
+)
+
+// Topology is the slice of the Secure Topology Service the voting service
+// consumes.
+type Topology interface {
+	// IsNeighbor reports whether q is an authenticated timely neighbour.
+	IsNeighbor(q link.NodeID) bool
+	// Neighbors returns the current one-hop view.
+	Neighbors() []link.NodeID
+	// IsLink reports whether the two-hop view shows p listing q as its
+	// neighbour.
+	IsLink(p, q link.NodeID) bool
+	// IsTwoHop reports whether q is reachable through some neighbour but
+	// is not itself a neighbour.
+	IsTwoHop(q link.NodeID) bool
+	// TwoHopCount returns the number of distinct two-hop nodes.
+	TwoHopCount() int
+}
+
+// Callbacks are the application-provided Inner-circle Callbacks of Fig. 1.
+// Unused entries may be nil.
+type Callbacks struct {
+	// Check validates the center's proposed value (deterministic voting's
+	// application-aware check f). Nil means accept everything.
+	Check func(center link.NodeID, value []byte) bool
+	// LocalValue returns this node's own observation matching the
+	// center's solicitation, or false if it has none (statistical voting).
+	LocalValue func(center link.NodeID, meta []byte) ([]byte, bool)
+	// Fuse combines the participating values (values[0] is the center's)
+	// into the agreed value. It must be deterministic: voters recompute it
+	// and require byte equality (statistical voting's fusion function f).
+	Fuse func(center link.NodeID, values [][]byte) []byte
+	// OnAgreed runs at every inner-circle member (including the center)
+	// when a round completes with a valid agreed message.
+	OnAgreed func(a AgreedMsg)
+	// OnRoundFailed runs at the center when a round times out or cannot
+	// combine a signature.
+	OnRoundFailed func(value []byte, reason string)
+}
+
+// Config parameterizes the service.
+type Config struct {
+	Mode Mode
+	// L is the dependability level: L neighbour approvals (plus the
+	// center's own share) are required.
+	L int
+	// RoundTimeout bounds one protocol attempt at the center.
+	RoundTimeout sim.Duration
+	// Retries is how many times the center re-solicits/re-proposes before
+	// declaring failure.
+	Retries int
+	// TwoHop widens the inner circle to all nodes within two hops (§3's
+	// larger-circle extension): first-ring members relay the round's
+	// messages outward and the replies back, trading extra local traffic
+	// for a larger approval pool.
+	TwoHop bool
+}
+
+// Deps wires the service into a node.
+type Deps struct {
+	ID   link.NodeID
+	K    *sim.Kernel
+	Link *link.Service
+	Topo Topology
+	Ring PublicRing
+	Keys NodeKeys
+	Susp *icnet.SuspicionManager
+	// SignKP and Dir provide the voters' individual signatures on
+	// statistical value messages.
+	SignKP *nsl.KeyPair
+	Dir    nsl.Directory
+	// Crypto models signing/verification latency and energy (zero value:
+	// instantaneous and free). Energy receives the per-operation charges;
+	// may be nil.
+	Crypto CryptoProfile
+	Energy EnergySink
+}
+
+// Stats counts voting activity.
+type Stats struct {
+	RoundsStarted   uint64
+	RoundsAgreed    uint64
+	RoundsFailed    uint64
+	AcksSent        uint64
+	ValuesSent      uint64
+	ChecksRejected  uint64
+	AgreedDelivered uint64
+	AgreedInvalid   uint64
+}
+
+// roundState is the center's per-round bookkeeping.
+type roundState struct {
+	seq     uint64
+	value   []byte // current value (original, or fused once computed)
+	acks    map[link.NodeID]thresh.Partial
+	values  []SignedValue // statistical: collected voter inputs
+	from    map[link.NodeID]bool
+	timer   *sim.Timer
+	retries int
+	// proposing is false while a statistical round is still collecting
+	// values; deterministic rounds start in the proposing phase.
+	proposing bool
+	done      bool
+}
+
+// Service is one node's inner-circle voting service.
+type Service struct {
+	cfg  Config
+	deps Deps
+
+	nextSeq uint64
+	rounds  map[uint64]*roundState
+	// voter-side dedup: latest seq acked per center.
+	ackedSeq map[link.NodeID]uint64
+	// two-hop relay dedup.
+	relayed map[relayKey]bool
+	// agreed messages already delivered (center+seq), to suppress
+	// duplicates from re-broadcasts.
+	delivered map[agreedKey]bool
+
+	cbs Callbacks
+
+	// Stats exposes counters to the experiment harness.
+	Stats Stats
+}
+
+type agreedKey struct {
+	center link.NodeID
+	seq    uint64
+}
+
+// relayKey deduplicates two-hop relaying of acks and value messages.
+type relayKey struct {
+	center link.NodeID
+	seq    uint64
+	voter  link.NodeID
+	kind   byte
+}
+
+// Common service errors.
+var (
+	ErrNoLevelKey  = errors.New("vote: no key for dependability level")
+	ErrNotNeighbor = errors.New("vote: sender is not an authenticated neighbour")
+)
+
+// New validates configuration and returns a service.
+func New(cfg Config, deps Deps, cbs Callbacks) (*Service, error) {
+	if cfg.Mode != Deterministic && cfg.Mode != Statistical {
+		return nil, fmt.Errorf("vote: invalid mode %d", cfg.Mode)
+	}
+	if cfg.L < 1 {
+		return nil, fmt.Errorf("vote: dependability level must be >= 1, got %d", cfg.L)
+	}
+	if cfg.RoundTimeout <= 0 {
+		return nil, fmt.Errorf("vote: round timeout must be positive")
+	}
+	if deps.Ring == nil || deps.Keys == nil {
+		return nil, fmt.Errorf("vote: key ring and node keys are required")
+	}
+	if _, ok := deps.Ring[cfg.L]; !ok {
+		return nil, fmt.Errorf("%w: L=%d", ErrNoLevelKey, cfg.L)
+	}
+	if cfg.Mode == Statistical && (deps.SignKP == nil || deps.Dir == nil) {
+		return nil, fmt.Errorf("vote: statistical mode requires SignKP and Dir")
+	}
+	return &Service{
+		cfg:       cfg,
+		deps:      deps,
+		cbs:       cbs,
+		rounds:    make(map[uint64]*roundState),
+		ackedSeq:  make(map[link.NodeID]uint64),
+		relayed:   make(map[relayKey]bool),
+		delivered: make(map[agreedKey]bool),
+	}, nil
+}
+
+// Propose starts a voting round with this node as center, to get value
+// agreed by L inner-circle neighbours. In deterministic mode the value is
+// proposed as-is; in statistical mode the round first solicits the inner
+// circle's own observations and fuses them.
+func (s *Service) Propose(value []byte) error {
+	circle := len(s.deps.Topo.Neighbors())
+	if s.cfg.TwoHop {
+		circle += s.deps.Topo.TwoHopCount()
+	}
+	if circle < s.cfg.L {
+		s.Stats.RoundsFailed++
+		s.failRound(value, "fewer neighbours than dependability level")
+		return nil
+	}
+	s.nextSeq++
+	r := &roundState{
+		seq:       s.nextSeq,
+		value:     append([]byte(nil), value...),
+		acks:      make(map[link.NodeID]thresh.Partial),
+		from:      make(map[link.NodeID]bool),
+		proposing: s.cfg.Mode == Deterministic,
+	}
+	s.rounds[r.seq] = r
+	s.Stats.RoundsStarted++
+	r.timer = sim.NewTimer(s.deps.K, func() { s.onRoundTimeout(r) })
+	r.timer.Reset(s.cfg.RoundTimeout)
+	s.kickRound(r)
+	return nil
+}
+
+// kickRound (re)transmits the round's opening message.
+func (s *Service) kickRound(r *roundState) {
+	switch s.cfg.Mode {
+	case Deterministic:
+		_ = s.deps.Link.SendRaw(link.BroadcastID, ProposeMsg{
+			Center: s.deps.ID, Seq: r.seq, L: s.cfg.L, Mode: Deterministic, Value: r.value,
+		})
+	case Statistical:
+		if !r.proposing {
+			_ = s.deps.Link.SendRaw(link.BroadcastID, SolicitMsg{
+				Center: s.deps.ID, Seq: r.seq, L: s.cfg.L, Meta: r.value,
+			})
+		} else {
+			s.sendStatPropose(r)
+		}
+	}
+}
+
+func (s *Service) onRoundTimeout(r *roundState) {
+	if r.done {
+		return
+	}
+	if r.retries < s.cfg.Retries {
+		r.retries++
+		r.timer.Reset(s.cfg.RoundTimeout)
+		s.kickRound(r)
+		return
+	}
+	r.done = true
+	delete(s.rounds, r.seq)
+	s.Stats.RoundsFailed++
+	s.failRound(r.value, "timeout waiting for inner-circle approval")
+}
+
+func (s *Service) failRound(value []byte, reason string) {
+	if s.cbs.OnRoundFailed != nil {
+		s.cbs.OnRoundFailed(value, reason)
+	}
+}
+
+// HandleEnv processes voting traffic; it reports whether the envelope was
+// consumed.
+func (s *Service) HandleEnv(e link.Env) bool {
+	switch m := e.Msg.(type) {
+	case ProposeMsg:
+		s.onPropose(e.From, m)
+	case AckMsg:
+		s.onAck(e.From, m)
+	case SolicitMsg:
+		s.onSolicit(e.From, m)
+	case ValueMsg:
+		s.onValue(e.From, m)
+	case AgreedMsg:
+		s.onAgreed(e.From, m)
+	default:
+		return false
+	}
+	return true
+}
+
+// ---- voter side ---------------------------------------------------------
+
+func (s *Service) onPropose(from link.NodeID, m ProposeMsg) {
+	if m.Center == s.deps.ID {
+		return
+	}
+	if m.Relayed {
+		// Two-hop participation: the relayer must be our neighbour and
+		// must (per our two-hop view) be a neighbour of the center.
+		if !s.cfg.TwoHop || from != m.Relayer {
+			return
+		}
+		if s.deps.Topo.IsNeighbor(m.Center) {
+			return // first-ring nodes act on the direct copy
+		}
+		if !s.deps.Topo.IsLink(m.Relayer, m.Center) {
+			return
+		}
+	} else {
+		if from != m.Center {
+			return
+		}
+		// Only vote in inner circles we belong to: the center must be an
+		// authenticated, timely neighbour.
+		if !s.deps.Topo.IsNeighbor(m.Center) {
+			return
+		}
+		if s.cfg.TwoHop {
+			// Relay the proposal outward once, marking ourselves.
+			relay := m
+			relay.Relayed = true
+			relay.Relayer = s.deps.ID
+			_ = s.deps.Link.SendRaw(link.BroadcastID, relay)
+		}
+	}
+	if s.ackedSeq[m.Center] >= m.Seq {
+		// Re-proposal of an already-acked round: re-send the ack (the
+		// original may have been lost).
+		if s.ackedSeq[m.Center] == m.Seq {
+			s.sendAck(m)
+		}
+		return
+	}
+	signer, ok := s.deps.Keys[m.L]
+	if !ok {
+		return
+	}
+	_ = signer
+	switch m.Mode {
+	// A failed check means this voter declines to approve — it is not by
+	// itself provable misbehaviour (the voter may simply lack the local
+	// context the check needs, e.g. the fw state of Fig. 6 before the
+	// corresponding agreed message arrives), so no suspicion is raised
+	// here; suppression of genuinely unsigned/invalid traffic is the
+	// interceptor's job.
+	case Deterministic:
+		if s.cbs.Check != nil && !s.cbs.Check(m.Center, m.Value) {
+			s.Stats.ChecksRejected++
+			return
+		}
+	case Statistical:
+		if !s.verifyStatPropose(m) {
+			s.Stats.ChecksRejected++
+			return
+		}
+	default:
+		return
+	}
+	s.ackedSeq[m.Center] = m.Seq
+	s.sendAck(m)
+}
+
+// verifyStatPropose re-derives the fused value from the signed inputs.
+func (s *Service) verifyStatPropose(m ProposeMsg) bool {
+	if s.cbs.Fuse == nil || s.deps.Dir == nil {
+		return false
+	}
+	if len(m.Values) < m.L+1 {
+		return false // must include center's value plus >= L voters
+	}
+	vals := make([][]byte, 0, len(m.Values))
+	seen := make(map[link.NodeID]bool, len(m.Values))
+	for i, sv := range m.Values {
+		if seen[sv.Voter] {
+			return false
+		}
+		seen[sv.Voter] = true
+		// The first entry is the center's own value; the rest must carry
+		// valid individual signatures from distinct voters.
+		if i == 0 {
+			if sv.Voter != m.Center {
+				return false
+			}
+		} else {
+			pk, err := s.deps.Dir.PublicKey(int64(sv.Voter))
+			if err != nil {
+				return false
+			}
+			if nsl.Verify(pk, valueDigest(m.Center, m.Seq, sv.Voter, sv.Value), sv.Sig) != nil {
+				return false
+			}
+		}
+		vals = append(vals, sv.Value)
+	}
+	fused := s.cbs.Fuse(m.Center, vals)
+	return bytes.Equal(fused, m.Value)
+}
+
+func (s *Service) sendAck(m ProposeMsg) {
+	signer, ok := s.deps.Keys[m.L]
+	if !ok {
+		return
+	}
+	p, err := signer.PartialSign(digest(m.Center, m.Seq, m.L, m.Value))
+	if err != nil {
+		return
+	}
+	s.Stats.AcksSent++
+	dst := m.Center
+	if m.Relayed {
+		dst = m.Relayer // the relayer forwards it inward
+	}
+	ack := AckMsg{Center: m.Center, Seq: m.Seq, Voter: s.deps.ID, Partial: p}
+	s.afterCrypto(s.deps.Crypto.SignDelay, s.deps.Crypto.SignEnergy, func() {
+		_ = s.deps.Link.SendRaw(dst, ack)
+	})
+}
+
+// afterCrypto charges a crypto operation's energy and runs fn after its
+// processing delay (immediately under the Instant profile).
+func (s *Service) afterCrypto(delay sim.Duration, joules float64, fn func()) {
+	if s.deps.Energy != nil && joules > 0 {
+		s.deps.Energy.AddEnergy(joules)
+	}
+	if delay <= 0 {
+		fn()
+		return
+	}
+	s.deps.K.MustSchedule(delay, fn)
+}
+
+func (s *Service) onSolicit(from link.NodeID, m SolicitMsg) {
+	if m.Center == s.deps.ID {
+		return
+	}
+	if m.Relayed {
+		if !s.cfg.TwoHop || from != m.Relayer {
+			return
+		}
+		if s.deps.Topo.IsNeighbor(m.Center) || !s.deps.Topo.IsLink(m.Relayer, m.Center) {
+			return
+		}
+	} else {
+		if from != m.Center {
+			return
+		}
+		if !s.deps.Topo.IsNeighbor(m.Center) {
+			return
+		}
+		if s.cfg.TwoHop {
+			relay := m
+			relay.Relayed = true
+			relay.Relayer = s.deps.ID
+			_ = s.deps.Link.SendRaw(link.BroadcastID, relay)
+		}
+	}
+	if s.cbs.LocalValue == nil || s.deps.SignKP == nil {
+		return
+	}
+	val, ok := s.cbs.LocalValue(m.Center, m.Meta)
+	if !ok {
+		return
+	}
+	sig := s.deps.SignKP.Sign(valueDigest(m.Center, m.Seq, s.deps.ID, val))
+	s.Stats.ValuesSent++
+	dst := m.Center
+	if m.Relayed {
+		dst = m.Relayer
+	}
+	_ = s.deps.Link.SendRaw(dst, ValueMsg{
+		Center: m.Center, Seq: m.Seq, Voter: s.deps.ID, Value: val, Sig: sig,
+	})
+}
+
+// ---- center side --------------------------------------------------------
+
+func (s *Service) onValue(from link.NodeID, m ValueMsg) {
+	if m.Center != s.deps.ID {
+		s.maybeRelayValue(from, m)
+		return
+	}
+	if from != m.Voter && !s.cfg.TwoHop {
+		return
+	}
+	r, ok := s.rounds[m.Seq]
+	if !ok || r.done || r.proposing {
+		return
+	}
+	if !s.inCircle(m.Voter) || r.from[m.Voter] {
+		return
+	}
+	// Verify the voter's individual signature before accepting its value.
+	pk, err := s.deps.Dir.PublicKey(int64(m.Voter))
+	if err != nil {
+		return
+	}
+	if nsl.Verify(pk, valueDigest(m.Center, m.Seq, m.Voter, m.Value), m.Sig) != nil {
+		if s.deps.Susp != nil {
+			s.deps.Susp.SuspectTemporary(m.Voter, "bad signature on value message")
+		}
+		return
+	}
+	r.from[m.Voter] = true
+	r.values = append(r.values, SignedValue{Voter: m.Voter, Value: m.Value, Sig: m.Sig})
+	if len(r.values) >= s.cfg.L {
+		s.buildStatPropose(r)
+	}
+}
+
+// buildStatPropose fuses the collected values and moves the round into the
+// propose phase.
+func (s *Service) buildStatPropose(r *roundState) {
+	all := make([]SignedValue, 0, len(r.values)+1)
+	all = append(all, SignedValue{Voter: s.deps.ID, Value: r.value})
+	all = append(all, r.values...)
+	vals := make([][]byte, len(all))
+	for i, sv := range all {
+		vals[i] = sv.Value
+	}
+	fused := s.cbs.Fuse(s.deps.ID, vals)
+	r.value = fused
+	r.values = all
+	r.proposing = true
+	s.sendStatPropose(r)
+}
+
+func (s *Service) sendStatPropose(r *roundState) {
+	_ = s.deps.Link.SendRaw(link.BroadcastID, ProposeMsg{
+		Center: s.deps.ID, Seq: r.seq, L: s.cfg.L, Mode: Statistical,
+		Value: r.value, Values: r.values,
+	})
+}
+
+func (s *Service) onAck(from link.NodeID, m AckMsg) {
+	if m.Center != s.deps.ID {
+		s.maybeRelayAck(from, m)
+		return
+	}
+	if from != m.Voter && !s.cfg.TwoHop {
+		return
+	}
+	r, ok := s.rounds[m.Seq]
+	if !ok || r.done || !r.proposing {
+		return
+	}
+	if !s.inCircle(m.Voter) {
+		return
+	}
+	if _, dup := r.acks[m.Voter]; dup {
+		return
+	}
+	r.acks[m.Voter] = m.Partial
+	if len(r.acks) >= s.cfg.L {
+		s.tryComplete(r)
+	}
+}
+
+// tryComplete combines the collected partials with the center's own share.
+// On a combine failure (a corrupt partial poisoning the batch) it retries
+// leaving out one ack at a time, so a single Byzantine voter cannot block
+// an otherwise complete round.
+func (s *Service) tryComplete(r *roundState) {
+	signer, ok := s.deps.Keys[s.cfg.L]
+	if !ok {
+		return
+	}
+	gk := s.deps.Ring[s.cfg.L]
+	dig := digest(s.deps.ID, r.seq, s.cfg.L, r.value)
+	own, err := signer.PartialSign(dig)
+	if err != nil {
+		return
+	}
+	// Deterministic voter order (map iteration would vary the chosen
+	// partial subset — and therefore the trace — between identical runs).
+	voters := make([]link.NodeID, 0, len(r.acks))
+	for v := range r.acks {
+		voters = append(voters, v)
+	}
+	sort.Slice(voters, func(i, j int) bool { return voters[i] < voters[j] })
+	partials := make([]thresh.Partial, 0, len(r.acks)+1)
+	partials = append(partials, own)
+	for _, v := range voters {
+		partials = append(partials, r.acks[v])
+	}
+	sig, err := gk.Combine(dig, partials)
+	if err != nil && len(r.acks) > s.cfg.L {
+		// Leave-one-out: drop each suspect ack in turn.
+		for skip := range voters {
+			subset := []thresh.Partial{own}
+			for i, v := range voters {
+				if i == skip {
+					continue
+				}
+				subset = append(subset, r.acks[v])
+			}
+			if sig, err = gk.Combine(dig, subset); err == nil {
+				if s.deps.Susp != nil {
+					s.deps.Susp.SuspectPermanent(voters[skip], "corrupt partial signature")
+				}
+				break
+			}
+		}
+	}
+	if err != nil {
+		// Not combinable yet; wait for more acks or the timeout.
+		return
+	}
+	r.done = true
+	r.timer.Stop()
+	delete(s.rounds, r.seq)
+	s.Stats.RoundsAgreed++
+	agreed := AgreedMsg{Center: s.deps.ID, Seq: r.seq, L: s.cfg.L, Value: r.value, Sig: sig}
+	// Fig. 6: the center sends the agreed message to all its inner-circle
+	// nodes, then delivers it locally. The center paid one partial
+	// signature plus the combination.
+	cost := s.deps.Crypto.SignDelay + s.deps.Crypto.CombineDelay
+	joules := s.deps.Crypto.SignEnergy + s.deps.Crypto.CombineEnergy
+	s.afterCrypto(cost, joules, func() {
+		_ = s.deps.Link.SendRaw(link.BroadcastID, agreed)
+		s.deliverAgreed(agreed)
+	})
+}
+
+// ---- agreed handling ----------------------------------------------------
+
+func (s *Service) onAgreed(from link.NodeID, m AgreedMsg) {
+	if s.deps.Energy != nil && s.deps.Crypto.VerifyEnergy > 0 {
+		s.deps.Energy.AddEnergy(s.deps.Crypto.VerifyEnergy)
+	}
+	if err := s.VerifyAgreed(m); err != nil {
+		s.Stats.AgreedInvalid++
+		if s.deps.Susp != nil {
+			s.deps.Susp.SuspectPermanent(from, "relayed invalid agreed message")
+		}
+		return
+	}
+	// Two-hop circles: first-ring members relay the center's agreed
+	// message outward once (before the dedup marks it delivered).
+	if s.cfg.TwoHop && from == m.Center && s.deps.Topo.IsNeighbor(m.Center) {
+		if !s.delivered[agreedKey{center: m.Center, seq: m.Seq}] {
+			_ = s.deps.Link.SendRaw(link.BroadcastID, m)
+		}
+	}
+	s.deliverAgreed(m)
+}
+
+// inCircle reports whether a voter belongs to this center's inner circle
+// under the current configuration.
+func (s *Service) inCircle(voter link.NodeID) bool {
+	if s.deps.Topo.IsNeighbor(voter) {
+		return true
+	}
+	return s.cfg.TwoHop && s.deps.Topo.IsTwoHop(voter)
+}
+
+// maybeRelayAck forwards a two-hop voter's ack toward its center, once.
+func (s *Service) maybeRelayAck(from link.NodeID, m AckMsg) {
+	if !s.cfg.TwoHop || from != m.Voter {
+		return
+	}
+	if !s.deps.Topo.IsNeighbor(m.Center) {
+		return
+	}
+	key := relayKey{center: m.Center, seq: m.Seq, voter: m.Voter, kind: 'a'}
+	if s.relayed[key] {
+		return
+	}
+	s.relayed[key] = true
+	_ = s.deps.Link.SendRaw(m.Center, m)
+}
+
+// maybeRelayValue forwards a two-hop voter's value message toward its
+// center, once.
+func (s *Service) maybeRelayValue(from link.NodeID, m ValueMsg) {
+	if !s.cfg.TwoHop || from != m.Voter {
+		return
+	}
+	if !s.deps.Topo.IsNeighbor(m.Center) {
+		return
+	}
+	key := relayKey{center: m.Center, seq: m.Seq, voter: m.Voter, kind: 'v'}
+	if s.relayed[key] {
+		return
+	}
+	s.relayed[key] = true
+	_ = s.deps.Link.SendRaw(m.Center, m)
+}
+
+func (s *Service) deliverAgreed(m AgreedMsg) {
+	key := agreedKey{center: m.Center, seq: m.Seq}
+	if s.delivered[key] {
+		return
+	}
+	s.delivered[key] = true
+	s.Stats.AgreedDelivered++
+	if s.cbs.OnAgreed != nil {
+		s.cbs.OnAgreed(m)
+	}
+}
+
+// VerifyAgreed checks an agreed message's threshold signature against the
+// level key it names — the check any remote recipient performs (§3).
+func (s *Service) VerifyAgreed(m AgreedMsg) error {
+	gk, ok := s.deps.Ring[m.L]
+	if !ok {
+		return fmt.Errorf("%w: L=%d", ErrNoLevelKey, m.L)
+	}
+	return gk.Verify(digest(m.Center, m.Seq, m.L, m.Value), m.Sig)
+}
+
+// VerifierFor adapts the service into an interceptor signature check: it
+// recognizes AgreedMsg envelopes and validates their signatures.
+func (s *Service) VerifierFor() icnet.Verifier {
+	return func(e link.Env) (bool, bool) {
+		m, ok := e.Msg.(AgreedMsg)
+		if !ok {
+			return false, false
+		}
+		return true, s.VerifyAgreed(m) == nil
+	}
+}

@@ -1,0 +1,135 @@
+package innercircle
+
+import (
+	"innercircle/internal/energy"
+	"innercircle/internal/geo"
+	"innercircle/internal/link"
+	"innercircle/internal/mac"
+	"innercircle/internal/mobility"
+	"innercircle/internal/radio"
+	"innercircle/internal/sensor"
+	"innercircle/internal/sim"
+	"innercircle/internal/sts"
+	"innercircle/internal/trace"
+	"innercircle/internal/vote"
+)
+
+// Substrate types, aliased so NetworkConfig is fully constructible from
+// this package alone.
+type (
+	// NodeID identifies a node; correct nodes keep theirs for life.
+	NodeID = link.NodeID
+	// Message is anything a protocol sends across one hop.
+	Message = link.Message
+	// Env is a received message with its single-hop addressing.
+	Env = link.Env
+	// Time is virtual simulation time in seconds.
+	Time = sim.Time
+	// Duration is a span of virtual time in seconds.
+	Duration = sim.Duration
+	// RNG is a deterministic, splittable random stream.
+	RNG = sim.RNG
+	// RadioParams configure the physical layer.
+	RadioParams = radio.Params
+	// MACParams configure the CSMA/CA layer.
+	MACParams = mac.Params
+	// EnergyParams are the radio power draws in watts.
+	EnergyParams = energy.Params
+	// STSConfig configures the Secure Topology Service (§4.1).
+	STSConfig = sts.Config
+	// VoteConfig configures the Inner-circle Voting Service (§4.2).
+	VoteConfig = vote.Config
+	// VoteCallbacks are the application-provided Inner-circle Callbacks.
+	VoteCallbacks = vote.Callbacks
+	// CryptoProfile models signing/verification latency and energy (the
+	// paper's Crypto-Processor rationale).
+	CryptoProfile = vote.CryptoProfile
+	// AgreedMsg is the self-checking output of a completed voting round.
+	AgreedMsg = vote.AgreedMsg
+	// MobilityModel yields a node's position over time.
+	MobilityModel = mobility.Model
+	// Rect is an axis-aligned deployment region.
+	Rect = geo.Rect
+	// SignalModel is the sensing energy-decay law of Eqn. 4.
+	SignalModel = sensor.SignalModel
+)
+
+// Voting modes (Fig. 3).
+const (
+	// Deterministic voting validates a proposed value as-is.
+	Deterministic = vote.Deterministic
+	// Statistical voting fuses the inner circle's own observations.
+	Statistical = vote.Statistical
+)
+
+// BroadcastID is the single-hop broadcast destination.
+const BroadcastID = link.BroadcastID
+
+// Default80211Radio returns the ad hoc scenario's physical layer: 250 m
+// range at 2 Mb/s.
+func Default80211Radio() RadioParams { return radio.Default80211() }
+
+// DefaultMAC returns DCF-like CSMA/CA parameters.
+func DefaultMAC() MACParams { return mac.Default80211() }
+
+// NS2Energy returns the paper's energy model: Tx 660 mW, Rx 395 mW,
+// Idle 35 mW.
+func NS2Energy() EnergyParams { return energy.NS2Default() }
+
+// DefaultSTS returns the ad hoc scenario's topology-service configuration
+// (∆STS = 2 s, authenticated beacons, NSL link handshake).
+func DefaultSTS() STSConfig { return sts.DefaultConfig() }
+
+// Square returns the deployment region [0, side] × [0, side].
+func Square(side float64) Rect { return geo.Square(side) }
+
+// Static returns a mobility model that never moves.
+func Static(p Point) MobilityModel { return mobility.Static(p) }
+
+// RandomWaypoint returns the random waypoint mobility model used by the
+// ad hoc experiment: uniform destinations in region, fixed speed, given
+// pause time.
+func RandomWaypoint(region Rect, speed float64, pause Duration, start Point, rng *RNG) MobilityModel {
+	return mobility.NewWaypoint(mobility.WaypointConfig{
+		Region:   region,
+		MinSpeed: speed,
+		MaxSpeed: speed,
+		Pause:    pause,
+	}, start, rng)
+}
+
+// UniformPlacement draws n positions uniformly from region.
+func UniformPlacement(region Rect, n int, rng *RNG) []Point {
+	return mobility.UniformPlacement(region, n, rng)
+}
+
+// GridPlacement places n positions on a jittered grid over region.
+func GridPlacement(region Rect, n int, jitter float64, rng *RNG) []Point {
+	return mobility.GridPlacement(region, n, jitter, rng)
+}
+
+// NewRNG returns a deterministic random stream for the given seed.
+func NewRNG(seed int64) *RNG { return sim.NewRNG(seed) }
+
+// Tracer records wire-level traffic; pass one in NetworkConfig.Tracer and
+// print its summary after a run.
+type Tracer = trace.Tracer
+
+// NewTracer returns a tracer retaining at most capacity events (0 keeps
+// only per-type counters).
+func NewTracer(capacity int) *Tracer { return trace.New(capacity) }
+
+// SoftwareCrypto returns the embedded-CPU crypto cost profile.
+func SoftwareCrypto() CryptoProfile { return vote.SoftwareCrypto() }
+
+// HardwareCrypto returns the paper's Crypto-Processor cost profile
+// (roughly 10x faster and 100x more energy-efficient than software).
+func HardwareCrypto() CryptoProfile { return vote.HardwareCrypto() }
+
+// PaperSignalModel returns the Fig. 8 sensing parameters (K·T = 20000,
+// k = 2, σ_N = 1).
+func PaperSignalModel() SignalModel { return sensor.Paper() }
+
+// NeymanPearsonLambda is the detection threshold λ = 6.635 giving a 1%
+// per-sample false-alarm probability under χ²₁ noise.
+const NeymanPearsonLambda = sensor.NeymanPearsonLambda
