@@ -7,22 +7,27 @@
 // read different metrics from it (e.g. Fig. 7a and 7b come from the same
 // runs, as in the paper). Environment knobs:
 //
-//	IC_RUNS=N   runs per data point (default 3; the paper uses 50)
-//	IC_FULL=1   full-resolution sweeps (every malicious count, all levels)
+//	IC_RUNS=N     runs per data point (default 3; the paper uses 50)
+//	IC_FULL=1     full-resolution sweeps (every malicious count, all levels)
+//	IC_WORKERS=N  parallel sweep workers (default: one per CPU core;
+//	              replicas fan out across cores, tables stay byte-identical)
 //
 // Typical usage:
 //
 //	go test -bench=Fig -benchtime=1x
 //	IC_RUNS=10 IC_FULL=1 go test -bench=. -benchtime=1x -timeout=4h
+//	IC_WORKERS=1 go test -bench=Fig -benchtime=1x   # serial reference run
 package innercircle_test
 
 import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	ic "innercircle"
 )
@@ -373,6 +378,54 @@ func dealOnce(b *testing.B, dealer ic.Dealer) (ic.GroupKey, []ic.Signer) {
 	}
 	dealCache.Store(key, [2]any{gk, signers})
 	return gk, signers
+}
+
+// ---- parallel replica engine -----------------------------------------------
+
+// sweepReplicasPerSec runs a fixed small Fig. 7 sweep (2 configurations ×
+// 2 malicious counts × 4 runs = 16 replicas) with the given worker count
+// and returns the replica throughput. The sweep output is identical at
+// every worker count; only wall-clock changes.
+func sweepReplicasPerSec(b *testing.B, workers int) float64 {
+	b.Helper()
+	b.Setenv("IC_WORKERS", strconv.Itoa(workers))
+	base := ic.PaperBlackholeConfig()
+	base.Nodes = 30
+	base.SimTime = 30
+	base.Seed = 17
+	counts := []int{0, 2}
+	levels := []int{1}
+	const runs = 4
+	replicas := len(counts) * (1 + len(levels)) * runs
+	start := time.Now()
+	if _, _, err := ic.BlackholeSweep(base, counts, levels, runs, nil); err != nil {
+		b.Fatal(err)
+	}
+	return float64(replicas) / time.Since(start).Seconds()
+}
+
+// BenchmarkSweepSerial is the one-worker baseline for the replica engine:
+// the sequential execution the sweeps used before parallelization.
+func BenchmarkSweepSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(sweepReplicasPerSec(b, 1), "replicas/s")
+	}
+}
+
+// BenchmarkSweepParallel measures replica throughput of the worker-pool
+// engine at 1, 2, and NumCPU workers (compare against BenchmarkSweepSerial;
+// the speedup table is recorded in BENCH_parallel.json). Replicas are
+// independent single-threaded simulations, so throughput should scale
+// nearly linearly with cores until memory bandwidth intervenes.
+func BenchmarkSweepParallel(b *testing.B) {
+	workerCounts := []int{1, 2, runtime.NumCPU()}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.ReportMetric(sweepReplicasPerSec(b, w), "replicas/s")
+			}
+		})
+	}
 }
 
 // ---- substrate microbenchmarks ---------------------------------------------

@@ -45,22 +45,28 @@ type KeyPair struct {
 }
 
 // GenerateKeyPair creates an RSA key pair of the given modulus size.
-// randSrc nil means crypto/rand.Reader.
+// randSrc nil means crypto/rand.Reader. A non-nil randSrc yields a key
+// pair that is a pure function of the stream: seeded streams reproduce
+// identical keys across processes (crypto/rand.Prime deliberately
+// perturbs its stream consumption, so it cannot be used for this).
 func GenerateKeyPair(bits int, randSrc io.Reader) (*KeyPair, error) {
-	if randSrc == nil {
-		randSrc = rand.Reader
-	}
 	if bits < 256 {
 		return nil, errors.New("nsl: modulus too small")
+	}
+	prime := func(bits int) (*big.Int, error) {
+		if randSrc == nil {
+			return rand.Prime(rand.Reader, bits)
+		}
+		return streamPrime(randSrc, bits)
 	}
 	one := big.NewInt(1)
 	e := big.NewInt(65537)
 	for {
-		p, err := rand.Prime(randSrc, bits/2)
+		p, err := prime(bits / 2)
 		if err != nil {
 			return nil, fmt.Errorf("nsl: prime: %w", err)
 		}
-		q, err := rand.Prime(randSrc, bits-bits/2)
+		q, err := prime(bits - bits/2)
 		if err != nil {
 			return nil, fmt.Errorf("nsl: prime: %w", err)
 		}
@@ -74,6 +80,32 @@ func GenerateKeyPair(bits int, randSrc io.Reader) (*KeyPair, error) {
 			continue
 		}
 		return &KeyPair{Pub: PublicKey{N: n, E: new(big.Int).Set(e)}, d: d}, nil
+	}
+}
+
+// streamPrime returns a prime of exactly bits bits whose candidates are
+// drawn verbatim from r: unlike crypto/rand.Prime it consumes the stream
+// deterministically, and ProbablyPrime derives its Miller-Rabin bases from
+// the candidate itself, so the result is reproducible for a seeded r.
+func streamPrime(r io.Reader, bits int) (*big.Int, error) {
+	if bits < 16 {
+		return nil, errors.New("nsl: prime size too small")
+	}
+	buf := make([]byte, (bits+7)/8)
+	p := new(big.Int)
+	for {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		// Trim to exactly bits bits, force the top bit (exact length) and
+		// the low bit (odd).
+		buf[0] &= 0xFF >> (uint(len(buf)*8 - bits))
+		p.SetBytes(buf)
+		p.SetBit(p, bits-1, 1)
+		p.SetBit(p, 0, 1)
+		if p.ProbablyPrime(20) {
+			return new(big.Int).Set(p), nil
+		}
 	}
 }
 

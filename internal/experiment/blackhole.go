@@ -215,6 +215,10 @@ func RunBlackhole(cfg BlackholeConfig) (BlackholeResult, error) {
 // BlackholeSweep runs the full Fig. 7 sweep: configurations {No IC,
 // IC L=1, IC L=2} across malicious-node counts, repeated runs times, and
 // returns the throughput (Fig. 7a) and energy (Fig. 7b) tables.
+//
+// Replicas run on the parallel replica engine (see pool.go); results fold
+// into the tables in enumeration order, so the output is identical for any
+// worker count (IC_WORKERS overrides the default of one worker per core).
 func BlackholeSweep(base BlackholeConfig, maliciousCounts []int, levels []int, runs int, progress io.Writer) (throughput, energyTbl *stats.Table, err error) {
 	throughput = stats.NewTable("Fig. 7(a) Network throughput [%]", "config \\ #malicious")
 	energyTbl = stats.NewTable("Fig. 7(b) Energy consumption [J/node]", "config \\ #malicious")
@@ -228,6 +232,14 @@ func BlackholeSweep(base BlackholeConfig, maliciousCounts []int, levels []int, r
 	for _, l := range levels {
 		rows = append(rows, rowSpec{label: fmt.Sprintf("IC, L=%d", l), ic: true, level: l})
 	}
+
+	// Enumerate every (config row × malicious count × run) replica up
+	// front; cell remembers where each job's result belongs.
+	type cell struct {
+		row, col string
+	}
+	var jobs []Job
+	var cells []cell
 	for _, row := range rows {
 		for _, m := range maliciousCounts {
 			for run := 0; run < runs; run++ {
@@ -239,19 +251,33 @@ func BlackholeSweep(base BlackholeConfig, maliciousCounts []int, levels []int, r
 				}
 				cfg.Malicious = m
 				cfg.Seed = base.Seed + int64(1000*m+run)
-				res, err := RunBlackhole(cfg)
-				if err != nil {
-					return nil, nil, err
-				}
-				col := fmt.Sprintf("%d", m)
-				throughput.Add(row.label, col, res.Throughput)
-				energyTbl.Add(row.label, col, res.EnergyPerNode)
-				if progress != nil {
-					fmt.Fprintf(progress, "%s malicious=%d run=%d: throughput=%.1f%% energy=%.2f J\n",
-						row.label, m, run, res.Throughput, res.EnergyPerNode)
-				}
+				jobs = append(jobs, Job{
+					Index: len(jobs),
+					Label: fmt.Sprintf("%s malicious=%d run=%d", row.label, m, run),
+					Run: func() (any, error) {
+						res, err := RunBlackhole(cfg)
+						if err != nil {
+							return nil, err
+						}
+						return res, nil
+					},
+				})
+				cells = append(cells, cell{row: row.label, col: fmt.Sprintf("%d", m)})
 			}
 		}
+	}
+
+	results, err := RunJobs(jobs, 0, progressWriter(progress, func(j Job, result any) string {
+		res := result.(BlackholeResult)
+		return fmt.Sprintf("%s: throughput=%.1f%% energy=%.2f J\n", j.Label, res.Throughput, res.EnergyPerNode)
+	}))
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, r := range results {
+		res := r.(BlackholeResult)
+		throughput.Add(cells[i].row, cells[i].col, res.Throughput)
+		energyTbl.Add(cells[i].row, cells[i].col, res.EnergyPerNode)
 	}
 	return throughput, energyTbl, nil
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"innercircle/internal/sensor"
+	"innercircle/internal/stats"
 )
 
 // TestBlackholeDeterministic pins DESIGN.md §7: two runs with the same
@@ -32,6 +33,59 @@ func TestBlackholeDeterministic(t *testing.T) {
 	}
 	if a == c {
 		t.Fatal("different seeds produced identical results (suspicious)")
+	}
+}
+
+// TestSweepWorkerCountInvariant pins the core determinism contract of the
+// parallel replica engine: for a fixed seed, sweep tables are byte-
+// identical no matter how many workers execute the replicas. Results must
+// therefore fold into the tables in job-enumeration order — Welford
+// accumulation is order-sensitive in floating point, so completion-order
+// aggregation would already break this.
+func TestSweepWorkerCountInvariant(t *testing.T) {
+	blackhole := func(t *testing.T) []*stats.Table {
+		cfg := smallBlackhole()
+		cfg.SimTime = 30
+		thr, eng, err := BlackholeSweep(cfg, []int{0, 2}, []int{1}, 2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []*stats.Table{thr, eng}
+	}
+	sensorSweep := func(t *testing.T) []*stats.Table {
+		cfg := PaperSensorConfig()
+		cfg.Seed = 5
+		cfg.SimTime = 100
+		tables, err := SensorSweep(cfg, []int{3}, []sensor.FaultKind{sensor.FaultNone, sensor.FaultInterference}, 2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []*stats.Table
+		for _, key := range []string{"miss", "false", "energyT", "energyNT", "latency", "locerr"} {
+			out = append(out, tables[key])
+		}
+		return out
+	}
+	for _, tc := range []struct {
+		name  string
+		sweep func(t *testing.T) []*stats.Table
+	}{
+		{"blackhole", blackhole},
+		{"sensor", sensorSweep},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Setenv("IC_WORKERS", "1")
+			serial := tc.sweep(t)
+			t.Setenv("IC_WORKERS", "8")
+			parallel := tc.sweep(t)
+			for i := range serial {
+				got, want := parallel[i].StringWithCI(), serial[i].StringWithCI()
+				if got != want {
+					t.Errorf("table %q differs between IC_WORKERS=1 and 8:\n--- serial ---\n%s--- parallel ---\n%s",
+						serial[i].Title, want, got)
+				}
+			}
+		})
 	}
 }
 

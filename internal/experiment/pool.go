@@ -1,0 +1,165 @@
+// Replica engine: a worker pool that fans the independent
+// (config point × run) replicas of a parameter sweep across CPU cores.
+//
+// The paper's evaluation averages 50 ns-2 runs per data point; every replica
+// is a deterministic, single-threaded simulation that owns its entire object
+// graph, so a sweep is embarrassingly parallel. The engine preserves the
+// sequential sweeps' reproducibility contract: results land in per-job slots
+// indexed by enumeration order, and the caller folds them into tables in
+// that order, so the output is bit-identical regardless of worker count or
+// completion order. Only the progress stream (which reports completions as
+// they happen) depends on scheduling.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync"
+)
+
+// Job is one unit of sweep work: an independent simulation replica.
+type Job struct {
+	// Index is the job's position in the caller's enumeration order;
+	// RunJobs writes the job's result into results[Index].
+	Index int
+	// Label identifies the job in progress lines and failure messages
+	// (e.g. "IC, L=2 malicious=6 run=3").
+	Label string
+	// Run executes the replica and returns its result. It must not share
+	// mutable state with any other job: RunJobs calls Run from multiple
+	// goroutines concurrently.
+	Run func() (any, error)
+}
+
+// ProgressFunc observes job completions. done is the number of jobs
+// finished so far (including j), total the number submitted. Calls are
+// serialized by the engine, so implementations need no locking of their
+// own; they run in completion order, which varies with worker count.
+type ProgressFunc func(done, total int, j Job, result any)
+
+// Workers returns the worker count for a sweep: the IC_WORKERS environment
+// variable when set to a positive integer, else runtime.GOMAXPROCS(0).
+func Workers() int {
+	if s := os.Getenv("IC_WORKERS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunJobs executes jobs on a pool of workers and returns the results
+// indexed by Job.Index. workers <= 0 selects Workers(). A job panic is
+// captured and reported as that job's error. On the first failure the
+// engine cancels: queued jobs are skipped (in-flight replicas finish and
+// are discarded), and the enumeration-order first error among the replicas
+// that failed is returned.
+func RunJobs(jobs []Job, workers int, progress ProgressFunc) ([]any, error) {
+	results := make([]any, len(jobs))
+	errs := make([]error, len(jobs))
+	if len(jobs) == 0 {
+		return results, nil
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	var (
+		mu        sync.Mutex // guards done, failed, progress calls
+		done      int
+		failed    bool
+		wg        sync.WaitGroup
+		jobCh     = make(chan Job)
+		cancelled = make(chan struct{})
+	)
+	cancel := func() {
+		// Callers hold mu; close once.
+		if !failed {
+			failed = true
+			close(cancelled)
+		}
+	}
+
+	worker := func() {
+		defer wg.Done()
+		for j := range jobCh {
+			select {
+			case <-cancelled:
+				continue // drain the queue without starting more replicas
+			default:
+			}
+			res, err := runOne(j)
+			mu.Lock()
+			if err != nil {
+				errs[j.Index] = err
+				cancel()
+				mu.Unlock()
+				continue
+			}
+			results[j.Index] = res
+			done++
+			if progress != nil {
+				progress(done, len(jobs), j, res)
+			}
+			mu.Unlock()
+		}
+	}
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go worker()
+	}
+
+feed:
+	for _, j := range jobs {
+		select {
+		case jobCh <- j:
+		case <-cancelled:
+			break feed
+		}
+	}
+	close(jobCh)
+	wg.Wait()
+
+	// Report the first failure in enumeration order (deterministic even
+	// when several in-flight replicas fail concurrently).
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// runOne executes one job, converting a panic into an error so a corrupted
+// replica cannot take down the whole sweep process.
+func runOne(j Job) (res any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiment: job %q panicked: %v\n%s", j.Label, r, debug.Stack())
+		}
+	}()
+	res, err = j.Run()
+	if err != nil {
+		err = fmt.Errorf("experiment: job %q: %w", j.Label, err)
+	}
+	return res, err
+}
+
+// progressWriter adapts an io.Writer into a ProgressFunc using a per-job
+// line formatter. The engine serializes progress calls, so lines never
+// interleave; nil w yields a nil ProgressFunc.
+func progressWriter(w io.Writer, line func(j Job, result any) string) ProgressFunc {
+	if w == nil {
+		return nil
+	}
+	return func(done, total int, j Job, result any) {
+		fmt.Fprintf(w, "[%d/%d] %s", done, total, line(j, result))
+	}
+}

@@ -118,9 +118,12 @@ type agreedWrap struct {
 // Size implements link.Message.
 func (w agreedWrap) Size() int { return w.M.Size() }
 
-// sensorKeysOnce caches the 100-node RSA key set across runs: key material
-// does not influence traffic, and generating it dominates run setup
-// otherwise.
+// sensorKeysOnce caches the 100-node RSA key set across runs: generating
+// it dominates run setup otherwise. The set is derived from a fixed seed —
+// modulus bit lengths feed beacon-signature wire sizes, so key material
+// must be identical across processes for sweeps to reproduce exactly. The
+// cache is concurrency-safe: sync.Once guards generation, and replicas on
+// the parallel engine only ever read the finished key pairs.
 var (
 	sensorKeysOnce sync.Once
 	sensorKeys     []*nsl.KeyPair
@@ -129,7 +132,7 @@ var (
 
 func cachedSensorKeys(n int) ([]*nsl.KeyPair, error) {
 	sensorKeysOnce.Do(func() {
-		sensorKeys, sensorKeysErr = node.GenerateKeySet(n, 512)
+		sensorKeys, sensorKeysErr = node.GenerateKeySetSeeded(n, 512, 0x5EED0C)
 	})
 	if sensorKeysErr != nil {
 		return nil, sensorKeysErr
@@ -585,6 +588,10 @@ func fuse2(alg FusionAlg, obs []fusion.Vec, eta float64) fusion.Vec {
 
 // SensorSweep runs the Fig. 8 sweep: configurations {No IC, IC L=2..7} ×
 // fault models, producing the six tables of Fig. 8 (a)–(f).
+//
+// Replicas run on the parallel replica engine (see pool.go); results fold
+// into the tables in enumeration order, so the output is identical for any
+// worker count (IC_WORKERS overrides the default of one worker per core).
 func SensorSweep(base SensorConfig, levels []int, faults []sensor.FaultKind, runs int, progress io.Writer) (map[string]*stats.Table, error) {
 	tables := map[string]*stats.Table{
 		"miss":     stats.NewTable("Fig. 8(a) Miss alarm probability [%]", "config \\ fault"),
@@ -603,6 +610,18 @@ func SensorSweep(base SensorConfig, levels []int, faults []sensor.FaultKind, run
 	for _, l := range levels {
 		rows = append(rows, rowSpec{label: fmt.Sprintf("IC, L=%d", l), ic: true, level: l})
 	}
+	// Enumerate every (config row × fault × run) replica up front. One job
+	// covers a replica's paired runs: with the target (Figs. 8 a–c, e–f)
+	// and without (Fig. 8 d) — as in the sequential sweep, the pair shares
+	// a seed and reports together.
+	type sensorPair struct {
+		res, ntRes SensorResult
+	}
+	type cell struct {
+		row, col string
+	}
+	var jobs []Job
+	var cells []cell
 	for _, row := range rows {
 		for _, fault := range faults {
 			for run := 0; run < runs; run++ {
@@ -613,33 +632,48 @@ func SensorSweep(base SensorConfig, levels []int, faults []sensor.FaultKind, run
 				}
 				cfg.Fault = fault
 				cfg.Seed = base.Seed + int64(run)
-				res, err := RunSensor(cfg)
-				if err != nil {
-					return nil, err
-				}
-				col := fault.String()
-				tables["miss"].Add(row.label, col, 100*res.MissAlarm)
-				tables["false"].Add(row.label, col, res.FalseAlarmProb)
-				tables["energyT"].Add(row.label, col, res.EnergyPerNode)
-				if res.Targets > res.Missed {
-					tables["latency"].Add(row.label, col, res.DetectionLatency)
-					tables["locerr"].Add(row.label, col, res.LocalizationErr)
-				}
-				// Fig. 8(d): the same configuration without any target.
-				ntCfg := cfg
-				ntCfg.NoTarget = true
-				ntRes, err := RunSensor(ntCfg)
-				if err != nil {
-					return nil, err
-				}
-				tables["energyNT"].Add(row.label, col, ntRes.EnergyPerNode)
-				if progress != nil {
-					fmt.Fprintf(progress, "%s fault=%s run=%d: miss=%.0f%% false=%.2f%% lat=%.2fs loc=%.1fm E=%.2fJ/%.2fJ\n",
-						row.label, col, run, 100*res.MissAlarm, res.FalseAlarmProb,
-						res.DetectionLatency, res.LocalizationErr, res.EnergyPerNode, ntRes.EnergyPerNode)
-				}
+				jobs = append(jobs, Job{
+					Index: len(jobs),
+					Label: fmt.Sprintf("%s fault=%s run=%d", row.label, fault, run),
+					Run: func() (any, error) {
+						res, err := RunSensor(cfg)
+						if err != nil {
+							return nil, err
+						}
+						ntCfg := cfg
+						ntCfg.NoTarget = true
+						ntRes, err := RunSensor(ntCfg)
+						if err != nil {
+							return nil, err
+						}
+						return sensorPair{res: res, ntRes: ntRes}, nil
+					},
+				})
+				cells = append(cells, cell{row: row.label, col: fault.String()})
 			}
 		}
+	}
+
+	results, err := RunJobs(jobs, 0, progressWriter(progress, func(j Job, result any) string {
+		p := result.(sensorPair)
+		return fmt.Sprintf("%s: miss=%.0f%% false=%.2f%% lat=%.2fs loc=%.1fm E=%.2fJ/%.2fJ\n",
+			j.Label, 100*p.res.MissAlarm, p.res.FalseAlarmProb,
+			p.res.DetectionLatency, p.res.LocalizationErr, p.res.EnergyPerNode, p.ntRes.EnergyPerNode)
+	}))
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		p := r.(sensorPair)
+		row, col := cells[i].row, cells[i].col
+		tables["miss"].Add(row, col, 100*p.res.MissAlarm)
+		tables["false"].Add(row, col, p.res.FalseAlarmProb)
+		tables["energyT"].Add(row, col, p.res.EnergyPerNode)
+		if p.res.Targets > p.res.Missed {
+			tables["latency"].Add(row, col, p.res.DetectionLatency)
+			tables["locerr"].Add(row, col, p.res.LocalizationErr)
+		}
+		tables["energyNT"].Add(row, col, p.ntRes.EnergyPerNode)
 	}
 	return tables, nil
 }

@@ -7,6 +7,8 @@ package node
 
 import (
 	"fmt"
+	"io"
+	mrand "math/rand"
 
 	"innercircle/internal/crypto/nsl"
 	"innercircle/internal/crypto/thresh"
@@ -129,12 +131,24 @@ type Config struct {
 
 // GenerateKeySet creates n RSA key pairs for reuse across Build calls.
 func GenerateKeySet(n, bits int) ([]*nsl.KeyPair, error) {
+	return generateKeySet(n, bits, nil)
+}
+
+// GenerateKeySetSeeded creates n RSA key pairs from a seeded deterministic
+// stream, so repeated processes derive identical key material. Simulation
+// use only: the moduli's exact bit lengths feed wire-size accounting
+// (beacon signatures), so reproducible sweeps need reproducible keys.
+func GenerateKeySetSeeded(n, bits int, seed int64) ([]*nsl.KeyPair, error) {
+	return generateKeySet(n, bits, mrand.New(mrand.NewSource(seed)))
+}
+
+func generateKeySet(n, bits int, randSrc io.Reader) ([]*nsl.KeyPair, error) {
 	if bits == 0 {
 		bits = 512
 	}
 	keys := make([]*nsl.KeyPair, n)
 	for i := range keys {
-		kp, err := nsl.GenerateKeyPair(bits, nil)
+		kp, err := nsl.GenerateKeyPair(bits, randSrc)
 		if err != nil {
 			return nil, fmt.Errorf("node: generate key %d: %w", i, err)
 		}

@@ -156,12 +156,13 @@ func (c *Channel) Send(tr *Transceiver, f Frame) error {
 		if r == tr || r.down {
 			continue
 		}
-		if r.pos.Pos(now).Dist(src) > c.params.Range {
+		dist := r.pos.Pos(now).Dist(src)
+		if dist > c.params.Range {
 			continue
 		}
 		prop := sim.Duration(0)
 		if c.params.PropSpeed > 0 {
-			prop = sim.Duration(r.pos.Pos(now).Dist(src) / c.params.PropSpeed)
+			prop = sim.Duration(dist / c.params.PropSpeed)
 		}
 		arr := &arrival{frame: f, from: tr.id, start: now + prop, end: now + prop + d}
 		// Receiver transmitting during the arrival corrupts it.
@@ -187,10 +188,16 @@ func (c *Channel) Send(tr *Transceiver, f Frame) error {
 
 // finish resolves one arrival at receiver r.
 func (c *Channel) finish(r *Transceiver, arr *arrival) {
-	// Remove arr from r's in-flight list.
+	// Remove arr from r's in-flight list. Swap-remove: list order carries
+	// no meaning (overlap checks are symmetric), and under MAC contention
+	// the list can grow long enough for the O(n) splice to show up in
+	// sweep profiles.
 	for i, a := range r.arrivals {
 		if a == arr {
-			r.arrivals = append(r.arrivals[:i], r.arrivals[i+1:]...)
+			last := len(r.arrivals) - 1
+			r.arrivals[i] = r.arrivals[last]
+			r.arrivals[last] = nil
+			r.arrivals = r.arrivals[:last]
 			break
 		}
 	}

@@ -141,11 +141,14 @@ func (k *Kernel) ScheduleAt(at Time, fn func()) (EventID, error) {
 }
 
 // MustSchedule is Schedule for callers that control delay and know it is
-// non-negative; it drops the event (and reports false) instead of erroring.
+// non-negative; it panics when scheduling fails. A silently dropped event
+// corrupts the simulation (timers stop firing, frames never resolve), and
+// the old EventID(0) return aliased the "no event" sentinel — so a failure
+// here is a programming error worth crashing on.
 func (k *Kernel) MustSchedule(delay Duration, fn func()) EventID {
 	id, err := k.Schedule(delay, fn)
 	if err != nil {
-		return 0
+		panic(fmt.Sprintf("sim: MustSchedule: %v", err))
 	}
 	return id
 }

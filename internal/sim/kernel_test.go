@@ -322,3 +322,19 @@ func TestNeverIsLaterThanAnything(t *testing.T) {
 		t.Fatal("Never is not large")
 	}
 }
+
+func TestMustSchedulePanicsOnPastEvent(t *testing.T) {
+	// A silently dropped event corrupts the simulation; MustSchedule must
+	// crash loudly instead of returning the EventID(0) "no event" sentinel.
+	k := NewKernel()
+	k.MustSchedule(1, func() {})
+	if !k.Step() {
+		t.Fatal("no event to step")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSchedule with negative delay did not panic")
+		}
+	}()
+	k.MustSchedule(-1, func() {})
+}
