@@ -647,3 +647,19 @@ func BenchmarkAblationFusionInSitu(b *testing.B) {
 		b.ReportMetric(naive, "naive_m")
 	}
 }
+
+// BenchmarkReplicaHotpath measures one full 100-node, 30-second ad hoc
+// replica (waypoint mobility, CBR traffic, no attack) — the single-replica
+// wall-clock the spatial radio index and the kernel allocation diet target.
+func BenchmarkReplicaHotpath(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := ic.PaperBlackholeConfig()
+		cfg.Nodes = 100
+		cfg.SimTime = 30
+		cfg.Seed = 42
+		if _, err := ic.RunBlackhole(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

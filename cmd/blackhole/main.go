@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	blackhole [-runs N] [-seed S] [-time T] [-max-malicious M] [-quick]
+//	blackhole [-runs N] [-seed S] [-time T] [-max-malicious M] [-quick] [-cpuprofile out.pprof]
 //
 // The paper averages 50 runs per point; -runs trades completeness for
 // wall-clock time (each full-scale run simulates 300 s of a 50-node
@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 
 	ic "innercircle"
 )
@@ -31,8 +32,21 @@ func run() error {
 		gray    = flag.Float64("gray", 0, "gray-hole probability (0 = classic black holes)")
 		quick   = flag.Bool("quick", false, "reduced sweep for a fast preview")
 		quiet   = flag.Bool("quiet", false, "suppress per-run progress")
+		cpuprof = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	base := ic.PaperBlackholeConfig()
 	base.Seed = *seed

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	sensornet [-runs N] [-seed S] [-levels 2,3,4,5,6,7] [-weak] [-quick]
+//	sensornet [-runs N] [-seed S] [-levels 2,3,4,5,6,7] [-weak] [-quick] [-cpuprofile out.pprof]
 //
 // -weak reruns the sweep with the weaker target signal (K·T = 10000) the
 // paper uses to probe the miss-alarm limits of large inner circles.
@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -45,8 +46,21 @@ func run() error {
 		fusionArg = flag.String("fusion", "cluster", "statistical fusion algorithm: cluster|mean|naive (ablation A8)")
 		quick     = flag.Bool("quick", false, "reduced sweep for a fast preview")
 		quiet     = flag.Bool("quiet", false, "suppress per-run progress")
+		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	levels, err := parseLevels(*levelsArg)
 	if err != nil {

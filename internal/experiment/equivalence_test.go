@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"testing"
+
+	"innercircle/internal/sensor"
+)
+
+// The spatial neighbor index (internal/radio/grid.go) must be behaviorally
+// invisible at the top of the stack too: whole sweep tables — folded from
+// replicas that each run the full node stack over the radio — must come out
+// byte-identical with the index on (default) and off (IC_RADIO_INDEX=off).
+// Radio-level equivalence is checked in internal/radio; these tests close
+// the loop on the two paper scenarios: waypoint mobility (Fig. 7) and the
+// static sensor grid (Fig. 8).
+
+func blackholeSweepStrings(t *testing.T) (string, string) {
+	t.Helper()
+	base := PaperBlackholeConfig()
+	base.Nodes = 25
+	base.SimTime = 25
+	base.Seed = 77
+	thr, eng, err := BlackholeSweep(base, []int{0, 2}, []int{1}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return thr.String(), eng.String()
+}
+
+func TestIndexEquivalenceBlackholeSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep comparison")
+	}
+	t.Setenv("IC_RADIO_INDEX", "off")
+	thrOff, engOff := blackholeSweepStrings(t)
+	t.Setenv("IC_RADIO_INDEX", "")
+	thrOn, engOn := blackholeSweepStrings(t)
+	if thrOn != thrOff {
+		t.Fatalf("throughput table diverges with index on/off:\non:\n%s\noff:\n%s", thrOn, thrOff)
+	}
+	if engOn != engOff {
+		t.Fatalf("energy table diverges with index on/off:\non:\n%s\noff:\n%s", engOn, engOff)
+	}
+}
+
+func sensorSweepStrings(t *testing.T) map[string]string {
+	t.Helper()
+	base := PaperSensorConfig()
+	base.Nodes = 40
+	base.SimTime = 100
+	base.Seed = 78
+	tables, err := SensorSweep(base, []int{3}, []sensor.FaultKind{sensor.FaultNone}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]string{}
+	for key, tb := range tables {
+		out[key] = tb.String()
+	}
+	return out
+}
+
+func TestIndexEquivalenceSensorSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep comparison")
+	}
+	t.Setenv("IC_RADIO_INDEX", "off")
+	off := sensorSweepStrings(t)
+	t.Setenv("IC_RADIO_INDEX", "")
+	on := sensorSweepStrings(t)
+	for key := range on {
+		if on[key] != off[key] {
+			t.Fatalf("sensor table %q diverges with index on/off:\non:\n%s\noff:\n%s", key, on[key], off[key])
+		}
+	}
+}

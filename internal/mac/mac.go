@@ -114,6 +114,12 @@ type MAC struct {
 	lastSeq  map[Addr]uint32
 	haveSeq  map[Addr]bool
 
+	// Hoisted callbacks for the kernel's fire-and-forget fast path: backoff
+	// expiry and post-broadcast dequeue events are never cancelled, and
+	// building their closures once keeps contention allocation-free.
+	backoffExpired func()
+	startNextFn    func()
+
 	onRecv       func(Packet)
 	onSendFailed func(Packet)
 
@@ -136,6 +142,18 @@ func New(k *sim.Kernel, ch *radio.Channel, pos mobility.Model, meter *energy.Met
 	m.tr = ch.Attach(pos, meter, m.radioRecv)
 	m.addr = Addr(m.tr.ID())
 	m.ackTimer = sim.NewTimer(k, m.ackTimeout)
+	m.backoffExpired = func() {
+		if m.cur == nil {
+			return
+		}
+		if m.ch.Busy(m.tr) {
+			m.growCW()
+			m.contend()
+			return
+		}
+		m.transmitCur()
+	}
+	m.startNextFn = m.startNext
 	return m
 }
 
@@ -192,17 +210,7 @@ func (m *MAC) startNext() {
 // is clear, otherwise backs off again with a doubled window.
 func (m *MAC) contend() {
 	backoff := m.params.DIFS + sim.Duration(m.rng.Intn(m.cw+1))*m.params.SlotTime
-	m.k.MustSchedule(backoff, func() {
-		if m.cur == nil {
-			return
-		}
-		if m.ch.Busy(m.tr) {
-			m.growCW()
-			m.contend()
-			return
-		}
-		m.transmitCur()
-	})
+	m.k.ScheduleFire(backoff, m.backoffExpired)
 }
 
 func (m *MAC) growCW() {
@@ -233,7 +241,7 @@ func (m *MAC) transmitCur() {
 	d := m.ch.TxDuration(air)
 	if job.pkt.Dst == Broadcast {
 		m.Stats.DataDelivered++
-		m.k.MustSchedule(d, m.startNext)
+		m.k.ScheduleFire(d, m.startNextFn)
 		return
 	}
 	// Await ACK: airtime + SIFS + ACK airtime + scheduling margin.
@@ -295,7 +303,7 @@ func (m *MAC) radioRecv(rf radio.Frame, _ radio.ID) {
 
 func (m *MAC) sendAck(f frame) {
 	ack := frame{kind: frameAck, src: m.addr, dst: f.src, seq: f.seq}
-	m.k.MustSchedule(m.params.SIFS, func() {
+	m.k.ScheduleFire(m.params.SIFS, func() {
 		air := m.params.AckBytes + m.params.HeaderBytes
 		if err := m.ch.Send(m.tr, radio.Frame{Bytes: air, Payload: ack}); err == nil {
 			m.Stats.AcksSent++

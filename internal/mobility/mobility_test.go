@@ -144,3 +144,56 @@ func TestGridPlacementRoughlyEven(t *testing.T) {
 		t.Fatalf("nearest-neighbour spacing [%v, %v], want within [10, 30]", minNN, maxNN)
 	}
 }
+
+// TestWaypointNonDecreasingTimeContract exercises the documented Model
+// contract — Pos may be called with non-decreasing (including repeated)
+// times — across many leg and pause boundaries, and asserts the two
+// invariants callers rely on: positions stay inside the region, and the
+// distance covered between samples never exceeds MaxSpeed (paused nodes
+// hold still; travelling legs keep per-leg speed within
+// [MinSpeed, MaxSpeed]).
+func TestWaypointNonDecreasingTimeContract(t *testing.T) {
+	region := geo.Square(300)
+	const minSpeed, maxSpeed = 5.0, 15.0
+	for seed := int64(0); seed < 4; seed++ {
+		cfg := WaypointConfig{
+			Region:   region,
+			MinSpeed: minSpeed,
+			MaxSpeed: maxSpeed,
+			Pause:    1.5,
+		}
+		w := NewWaypoint(cfg, geo.Point{X: 150, Y: 150}, sim.NewRNG(seed))
+		rng := sim.NewRNG(seed + 100)
+		// Legs are at most ~85 s (diagonal / MinSpeed); 2000 samples with a
+		// mean step of 0.5 s cross many leg and pause boundaries.
+		now := sim.Time(0)
+		prevT := now
+		prev := w.Pos(now)
+		for i := 0; i < 2000; i++ {
+			// Mix of repeats (equal times) and forward steps.
+			if i%5 == 0 {
+				if got := w.Pos(now); got != prev {
+					t.Fatalf("seed %d: Pos(%v) repeated call moved: %v -> %v", seed, now, prev, got)
+				}
+				continue
+			}
+			now += sim.Duration(rng.Uniform(0, 1))
+			p := w.Pos(now)
+			if !region.Contains(p) {
+				t.Fatalf("seed %d: Pos(%v) = %v outside region", seed, now, p)
+			}
+			dt := float64(now - prevT)
+			if d := p.Dist(prev); d > maxSpeed*dt+1e-9 {
+				t.Fatalf("seed %d: moved %v m in %v s (> MaxSpeed %v m/s)", seed, d, dt, maxSpeed)
+			}
+			// The current leg's drawn speed must respect the config bounds.
+			if w.speed < minSpeed || w.speed > maxSpeed {
+				t.Fatalf("seed %d: leg speed %v outside [%v, %v]", seed, w.speed, minSpeed, maxSpeed)
+			}
+			prev, prevT = p, now
+		}
+		if now < 500 {
+			t.Fatalf("seed %d: sampled only %v s; expected to cross several legs", seed, now)
+		}
+	}
+}

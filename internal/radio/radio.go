@@ -8,6 +8,7 @@ package radio
 
 import (
 	"errors"
+	"os"
 
 	"innercircle/internal/energy"
 	"innercircle/internal/geo"
@@ -44,10 +45,13 @@ var ErrTxBusy = errors.New("radio: transceiver already transmitting")
 // ID identifies a transceiver on its channel.
 type ID int
 
-// arrival is a signal in flight toward one receiver.
+// arrival is a signal in flight toward one receiver. Arrivals are recycled
+// through the channel's free list when they resolve; to points back at the
+// receiver so the resolution callback needs no per-arrival closure.
 type arrival struct {
 	frame    Frame
 	from     ID
+	to       *Transceiver
 	start    sim.Time
 	end      sim.Time
 	collided bool
@@ -62,6 +66,18 @@ type Transceiver struct {
 	txUntil  sim.Time
 	arrivals []*arrival
 	down     bool
+
+	// Position cache: static transceivers hold their fixed position in
+	// cachedPos forever; mobile ones cache the last Pos evaluation so every
+	// query at the same virtual time reuses it.
+	static    bool
+	cachedPos geo.Point
+	cachedAt  sim.Time
+	hasCache  bool
+
+	// Spatial-index bin (see grid.go).
+	binKey cellKey
+	inGrid bool
 }
 
 // ID returns the transceiver's channel-local identifier.
@@ -78,6 +94,31 @@ type Channel struct {
 	params Params
 	trs    []*Transceiver
 
+	// grid is the spatial neighbor index (nil when Range <= 0); useIndex
+	// gates queries so the linear scan stays available as a cross-check
+	// (IC_RADIO_INDEX=off, or SetIndexEnabled).
+	grid     *gridIndex
+	useIndex bool
+
+	// The index pays off only when it prunes more distance checks than the
+	// per-epoch mobile re-bin costs. Both paths are behaviorally identical,
+	// so the channel is free to pick whichever is cheaper: while adaptive,
+	// the first probeSends indexed sends sample the candidate count, and the
+	// index is dropped for the rest of the run if the observed pruning
+	// (scanned − candidates) does not exceed the mobile population it has to
+	// re-bin each epoch. IC_RADIO_INDEX=on|off and SetIndexEnabled pin the
+	// choice and skip the probe.
+	adaptive  bool
+	probes    int
+	probeCand uint64
+	probeScan uint64
+
+	// finishFn is the arrival-resolution callback, built once so scheduling
+	// a delivery allocates no per-frame closure.
+	finishFn func(any)
+	// arrPool recycles resolved arrival structs.
+	arrPool []*arrival
+
 	// Stats counts physical-layer activity for the whole channel.
 	Stats Stats
 }
@@ -89,9 +130,43 @@ type Stats struct {
 	FramesCollided  uint64
 }
 
-// NewChannel returns an empty channel on kernel k.
+// probeSends is the number of indexed sends an adaptive channel samples
+// before deciding whether the index prunes enough to keep.
+const probeSends = 128
+
+// NewChannel returns an empty channel on kernel k. The spatial neighbor
+// index is on by default in adaptive mode (it is behaviorally invisible,
+// and the channel falls back to the linear scan if the deployment geometry
+// defeats pruning). The environment knob IC_RADIO_INDEX=off forces the
+// full-scan path for cross-checking; IC_RADIO_INDEX=on pins the index on.
 func NewChannel(k *sim.Kernel, params Params) *Channel {
-	return &Channel{k: k, params: params}
+	c := &Channel{k: k, params: params}
+	if params.Range > 0 {
+		c.grid = newGridIndex(params.Range)
+		switch os.Getenv("IC_RADIO_INDEX") {
+		case "off":
+			c.useIndex = false
+		case "on":
+			c.useIndex = true
+		default:
+			c.useIndex = true
+			c.adaptive = true
+		}
+	}
+	c.finishFn = func(x any) {
+		arr := x.(*arrival)
+		c.finish(arr.to, arr)
+	}
+	return c
+}
+
+// SetIndexEnabled turns the spatial neighbor index on or off, pinning the
+// choice (no adaptive fallback). The index is maintained either way, so
+// toggling is valid at any point; equivalence tests use this to compare
+// indexed and full-scan runs in-process.
+func (c *Channel) SetIndexEnabled(on bool) {
+	c.useIndex = on && c.grid != nil
+	c.adaptive = false
 }
 
 // Attach adds a transceiver whose position follows pos, whose energy is
@@ -99,13 +174,37 @@ func NewChannel(k *sim.Kernel, params Params) *Channel {
 // are delivered to recv along with the sender's ID.
 func (c *Channel) Attach(pos mobility.Model, meter *energy.Meter, recv func(Frame, ID)) *Transceiver {
 	tr := &Transceiver{
-		id:    ID(len(c.trs)),
-		pos:   pos,
-		meter: meter,
-		recv:  recv,
+		id:       ID(len(c.trs)),
+		pos:      pos,
+		meter:    meter,
+		recv:     recv,
+		arrivals: make([]*arrival, 0, 8),
+	}
+	if s, ok := pos.(mobility.Static); ok {
+		tr.static = true
+		tr.cachedPos = geo.Point(s)
 	}
 	c.trs = append(c.trs, tr)
+	if c.grid != nil {
+		c.grid.add(tr)
+	}
 	return tr
+}
+
+// posAt returns tr's position at now, consulting the per-transceiver cache.
+// Virtual time never decreases, so an exact-timestamp match is safe.
+func (c *Channel) posAt(tr *Transceiver, now sim.Time) geo.Point {
+	if tr.static {
+		return tr.cachedPos
+	}
+	if tr.hasCache && tr.cachedAt == now {
+		return tr.cachedPos
+	}
+	p := tr.pos.Pos(now)
+	tr.cachedPos = p
+	tr.cachedAt = now
+	tr.hasCache = true
+	return p
 }
 
 // TxDuration returns the airtime of a frame of the given size.
@@ -151,39 +250,100 @@ func (c *Channel) Send(tr *Transceiver, f Frame) error {
 			a.collided = true
 		}
 	}
-	src := tr.pos.Pos(now)
-	for _, r := range c.trs {
-		if r == tr || r.down {
-			continue
-		}
-		dist := r.pos.Pos(now).Dist(src)
-		if dist > c.params.Range {
-			continue
-		}
-		prop := sim.Duration(0)
-		if c.params.PropSpeed > 0 {
-			prop = sim.Duration(dist / c.params.PropSpeed)
-		}
-		arr := &arrival{frame: f, from: tr.id, start: now + prop, end: now + prop + d}
-		// Receiver transmitting during the arrival corrupts it.
-		if r.txUntil > arr.start {
-			arr.collided = true
-		}
-		// Overlap with any other in-flight arrival corrupts both.
-		for _, other := range r.arrivals {
-			if other.end > arr.start && other.start < arr.end {
-				other.collided = true
-				arr.collided = true
+	src := c.posAt(tr, now)
+	if c.useIndex {
+		// Spatial index: only the 3×3 cell neighborhood can hold in-range
+		// receivers. Candidates are stamped and then visited in c.trs
+		// order — the full-scan visit order — so the two paths schedule
+		// identical event sequences.
+		cand := c.grid.markNeighbors(c, src, now)
+		for i, r := range c.trs {
+			if c.grid.marked(int32(i)) {
+				c.propagate(r, tr, f, src, now, d)
 			}
 		}
-		r.arrivals = append(r.arrivals, arr)
-		if r.meter != nil {
-			r.meter.AddRx(d)
+		if c.adaptive {
+			c.probeDecide(cand)
 		}
-		rr := r
-		c.k.MustSchedule(arr.end-now, func() { c.finish(rr, arr) })
+	} else {
+		for _, r := range c.trs {
+			c.propagate(r, tr, f, src, now, d)
+		}
 	}
 	return nil
+}
+
+// probeDecide accumulates one indexed send's candidate count and, once
+// probeSends sends have been sampled, commits to the index or the full scan
+// for the rest of the run. The index earns its keep when the distance
+// checks it prunes (scanned − candidates) outnumber the mobile transceivers
+// it must re-bin every virtual-time epoch; otherwise the full scan is
+// cheaper. The decision depends only on deterministic simulation state, so
+// replays stay reproducible.
+func (c *Channel) probeDecide(cand int) {
+	c.probes++
+	c.probeCand += uint64(cand)
+	c.probeScan += uint64(len(c.trs))
+	if c.probes < probeSends {
+		return
+	}
+	c.adaptive = false
+	pruned := c.probeScan - c.probeCand
+	if pruned <= uint64(c.probes*len(c.grid.mobile)) {
+		c.useIndex = false
+	}
+}
+// r is the sender, down, or out of range) and schedules its resolution.
+func (c *Channel) propagate(r, tr *Transceiver, f Frame, src geo.Point, now sim.Time, d sim.Duration) {
+	if r == tr || r.down {
+		return
+	}
+	dist := c.posAt(r, now).Dist(src)
+	if dist > c.params.Range {
+		return
+	}
+	prop := sim.Duration(0)
+	if c.params.PropSpeed > 0 {
+		prop = sim.Duration(dist / c.params.PropSpeed)
+	}
+	arr := c.newArrival()
+	arr.frame, arr.from, arr.to = f, tr.id, r
+	arr.start, arr.end = now+prop, now+prop+d
+	// Receiver transmitting when the arrival starts corrupts it.
+	applyHalfDuplex(r, arr)
+	// Overlap with any other in-flight arrival corrupts both.
+	for _, other := range r.arrivals {
+		if other.end > arr.start && other.start < arr.end {
+			other.collided = true
+			arr.collided = true
+		}
+	}
+	r.arrivals = append(r.arrivals, arr)
+	if r.meter != nil {
+		r.meter.AddRx(d)
+	}
+	c.k.ScheduleFireArg(arr.end-now, c.finishFn, arr)
+}
+
+// applyHalfDuplex marks arr collided when its receiver's own transmission
+// overlaps the arrival's start — the half-duplex rule. Send applies it for
+// transmissions already underway when the arrival begins; finish re-applies
+// it for ones that began mid-arrival. One rule, two sampling points.
+func applyHalfDuplex(r *Transceiver, arr *arrival) {
+	if r.txUntil > arr.start {
+		arr.collided = true
+	}
+}
+
+// newArrival returns a zeroed arrival from the free list (or a fresh one).
+func (c *Channel) newArrival() *arrival {
+	if n := len(c.arrPool); n > 0 {
+		arr := c.arrPool[n-1]
+		c.arrPool[n-1] = nil
+		c.arrPool = c.arrPool[:n-1]
+		return arr
+	}
+	return &arrival{}
 }
 
 // finish resolves one arrival at receiver r.
@@ -202,10 +362,11 @@ func (c *Channel) finish(r *Transceiver, arr *arrival) {
 		}
 	}
 	// The receiver may have started transmitting mid-arrival.
-	if r.txUntil > arr.start && !arr.collided {
-		arr.collided = true
-	}
-	if arr.collided {
+	applyHalfDuplex(r, arr)
+	frame, from, collided := arr.frame, arr.from, arr.collided
+	*arr = arrival{}
+	c.arrPool = append(c.arrPool, arr)
+	if collided {
 		c.Stats.FramesCollided++
 		return
 	}
@@ -214,7 +375,7 @@ func (c *Channel) finish(r *Transceiver, arr *arrival) {
 	}
 	c.Stats.FramesDelivered++
 	if r.recv != nil {
-		r.recv(arr.frame, arr.from)
+		r.recv(frame, from)
 	}
 }
 
@@ -222,11 +383,11 @@ func (c *Channel) finish(r *Transceiver, arr *arrival) {
 // transmission range; used by topology-oracle test helpers.
 func (c *Channel) InRange(a, b *Transceiver) bool {
 	now := c.k.Now()
-	return a.pos.Pos(now).Dist(b.pos.Pos(now)) <= c.params.Range
+	return c.posAt(a, now).Dist(c.posAt(b, now)) <= c.params.Range
 }
 
 // Pos returns tr's current position.
-func (c *Channel) Pos(tr *Transceiver) geo.Point { return tr.pos.Pos(c.k.Now()) }
+func (c *Channel) Pos(tr *Transceiver) geo.Point { return c.posAt(tr, c.k.Now()) }
 
 // Params returns the channel's physical-layer parameters.
 func (c *Channel) Params() Params { return c.params }

@@ -37,12 +37,16 @@ func (t Time) String() string { return fmt.Sprintf("%.6fs", float64(t)) }
 // The zero EventID is never issued and is safe to use as "no event".
 type EventID uint64
 
-// event is a scheduled callback.
+// event is a scheduled callback. Exactly one of fn and fnArg is set; fnArg
+// carries its argument in arg so hot paths can schedule a long-lived
+// method value instead of allocating a fresh closure per event.
 type event struct {
 	at     Time
 	seq    uint64 // scheduling order, breaks ties deterministically
-	id     EventID
+	id     EventID // 0 for fire-and-forget events (ScheduleFire)
 	fn     func()
+	fnArg  func(any)
+	arg    any
 	index  int // heap index
 	cancel bool
 }
@@ -66,10 +70,10 @@ func (h eventHeap) Swap(i, j int) {
 }
 
 func (h *eventHeap) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
-		return
-	}
+	// Unchecked assertion: only the kernel pushes here, and pushing a
+	// non-*event is a programming error worth crashing on (fail-loud, like
+	// MustSchedule) rather than silently dropping the event.
+	ev := x.(*event)
 	ev.index = len(*h)
 	*h = append(*h, ev)
 }
@@ -105,6 +109,35 @@ type Kernel struct {
 	// limit, when non-zero, aborts Run after this many events as a
 	// runaway-loop backstop.
 	limit uint64
+
+	// pool is a free list of event structs recycled on pop. A simulation
+	// schedules millions of short-lived events; recycling them keeps the
+	// event loop allocation-free at steady state.
+	pool []*event
+}
+
+// getEvent returns a zeroed event from the free list (or a fresh one) with
+// its timestamp and sequence number assigned.
+func (k *Kernel) getEvent(at Time) *event {
+	var ev *event
+	if n := len(k.pool); n > 0 {
+		ev = k.pool[n-1]
+		k.pool[n-1] = nil
+		k.pool = k.pool[:n-1]
+	} else {
+		ev = &event{}
+	}
+	k.nextSeq++
+	ev.at = at
+	ev.seq = k.nextSeq
+	return ev
+}
+
+// putEvent clears ev (so recycled events retain no closures or arguments)
+// and returns it to the free list.
+func (k *Kernel) putEvent(ev *event) {
+	*ev = event{}
+	k.pool = append(k.pool, ev)
 }
 
 // NewKernel returns a kernel with the clock at time zero.
@@ -132,12 +165,41 @@ func (k *Kernel) ScheduleAt(at Time, fn func()) (EventID, error) {
 	if at < k.now {
 		return 0, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, k.now)
 	}
-	k.nextSeq++
+	ev := k.getEvent(at)
 	k.nextID++
-	ev := &event{at: at, seq: k.nextSeq, id: k.nextID, fn: fn}
+	ev.id = k.nextID
+	ev.fn = fn
 	heap.Push(&k.queue, ev)
 	k.byID[ev.id] = ev
 	return ev.id, nil
+}
+
+// ScheduleFire runs fn after delay, like MustSchedule, but for events that
+// are never cancelled (radio delivery resolution, MAC backoff expiry): the
+// event is not registered in the cancellation index, so the fast path costs
+// no map insert/delete and such events do not appear in Pending. It panics
+// on a negative delay.
+func (k *Kernel) ScheduleFire(delay Duration, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: ScheduleFire: %v: delay=%v now=%v", ErrPastEvent, delay, k.now))
+	}
+	ev := k.getEvent(k.now + delay)
+	ev.fn = fn
+	heap.Push(&k.queue, ev)
+}
+
+// ScheduleFireArg is ScheduleFire for callbacks taking one argument. Hot
+// paths use it with a method value built once at setup time, so scheduling
+// an event allocates no per-event closure (boxing a pointer-shaped arg is
+// allocation-free).
+func (k *Kernel) ScheduleFireArg(delay Duration, fn func(any), arg any) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: ScheduleFireArg: %v: delay=%v now=%v", ErrPastEvent, delay, k.now))
+	}
+	ev := k.getEvent(k.now + delay)
+	ev.fnArg = fn
+	ev.arg = arg
+	heap.Push(&k.queue, ev)
 }
 
 // MustSchedule is Schedule for callers that control delay and know it is
@@ -165,8 +227,9 @@ func (k *Kernel) Cancel(id EventID) bool {
 	return true
 }
 
-// Pending reports the number of events still queued (including events
-// cancelled but not yet drained).
+// Pending reports the number of cancellable events still queued.
+// Fire-and-forget events (ScheduleFire) are not counted: they never enter
+// the cancellation index.
 func (k *Kernel) Pending() int { return len(k.byID) }
 
 // Stop makes Run return after the currently executing event.
@@ -176,17 +239,28 @@ func (k *Kernel) Stop() { k.stopped = true }
 // timestamp. It reports false when the queue is empty.
 func (k *Kernel) Step() bool {
 	for len(k.queue) > 0 {
-		ev, ok := heap.Pop(&k.queue).(*event)
-		if !ok {
-			return false
-		}
+		// Unchecked assertion: the heap holds only *event values, so a
+		// mismatch is a programmer error that must crash, not silently end
+		// the run (matching MustSchedule's fail-loud policy).
+		ev := heap.Pop(&k.queue).(*event)
 		if ev.cancel {
+			k.putEvent(ev)
 			continue
 		}
-		delete(k.byID, ev.id)
+		if ev.id != 0 {
+			delete(k.byID, ev.id)
+		}
 		k.now = ev.at
 		k.processed++
-		ev.fn()
+		// Copy the callback out before recycling: the callback itself may
+		// schedule new events and reuse this struct.
+		fn, fnArg, arg := ev.fn, ev.fnArg, ev.arg
+		k.putEvent(ev)
+		if fnArg != nil {
+			fnArg(arg)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -203,7 +277,7 @@ func (k *Kernel) Run(until Time) error {
 			return fmt.Errorf("sim: event limit %d reached at %v", k.limit, k.now)
 		}
 		for len(k.queue) > 0 && k.queue[0].cancel {
-			heap.Pop(&k.queue)
+			k.putEvent(heap.Pop(&k.queue).(*event))
 		}
 		if len(k.queue) == 0 {
 			break

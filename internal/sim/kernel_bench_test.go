@@ -1,0 +1,42 @@
+package sim
+
+import "testing"
+
+// BenchmarkKernelSchedule measures one schedule+dispatch cycle through the
+// event queue — the kernel's innermost loop. Run with -benchmem: the
+// free-list pool and the ScheduleFire fast path exist to drive allocs/op
+// toward zero (the seed spent 1 alloc and ~103 ns per cycle on the
+// cancellable path; see BENCH_hotpath.json).
+func BenchmarkKernelSchedule(b *testing.B) {
+	b.Run("schedule", func(b *testing.B) {
+		k := NewKernel()
+		fn := func() {}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k.MustSchedule(1, fn)
+			k.Step()
+		}
+	})
+	b.Run("fire", func(b *testing.B) {
+		k := NewKernel()
+		fn := func() {}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k.ScheduleFire(1, fn)
+			k.Step()
+		}
+	})
+	b.Run("firearg", func(b *testing.B) {
+		k := NewKernel()
+		fn := func(any) {}
+		arg := &struct{}{}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k.ScheduleFireArg(1, fn, arg)
+			k.Step()
+		}
+	})
+}

@@ -338,3 +338,96 @@ func TestMustSchedulePanicsOnPastEvent(t *testing.T) {
 	}()
 	k.MustSchedule(-1, func() {})
 }
+
+func TestScheduleFireRunsInOrder(t *testing.T) {
+	// Fire-and-forget events share the sequence space with cancellable
+	// ones: ties still break in overall scheduling order.
+	k := NewKernel()
+	var order []int
+	k.MustSchedule(1, func() { order = append(order, 0) })
+	k.ScheduleFire(1, func() { order = append(order, 1) })
+	k.MustSchedule(1, func() { order = append(order, 2) })
+	k.ScheduleFire(0.5, func() { order = append(order, 3) })
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestScheduleFireSkipsCancellationIndex(t *testing.T) {
+	k := NewKernel()
+	k.ScheduleFire(1, func() {})
+	if got := k.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after ScheduleFire, want 0 (not cancellable)", got)
+	}
+	fired := false
+	k.ScheduleFire(2, func() { fired = true })
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("fire-and-forget event did not fire")
+	}
+}
+
+func TestScheduleFirePanicsOnNegativeDelay(t *testing.T) {
+	k := NewKernel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleFire(-1) did not panic")
+		}
+	}()
+	k.ScheduleFire(-1, func() {})
+}
+
+func TestScheduleFireArgPassesArgument(t *testing.T) {
+	k := NewKernel()
+	type payload struct{ n int }
+	var got []int
+	fn := func(x any) { got = append(got, x.(*payload).n) }
+	k.ScheduleFireArg(2, fn, &payload{n: 2})
+	k.ScheduleFireArg(1, fn, &payload{n: 1})
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v, want [1 2]", got)
+	}
+}
+
+func TestEventPoolRecyclesSafely(t *testing.T) {
+	// Events recycled on pop must not leak state into later schedules,
+	// including when a callback schedules new events (which may reuse the
+	// struct popped for the callback itself), cancels events, or mixes the
+	// cancellable and fire-and-forget paths.
+	k := NewKernel()
+	var fired []int
+	var chain func(depth int) func()
+	chain = func(depth int) func() {
+		return func() {
+			fired = append(fired, depth)
+			if depth < 50 {
+				k.ScheduleFire(1, chain(depth+1))
+				id := k.MustSchedule(0.5, func() { t.Error("cancelled event fired") })
+				k.Cancel(id)
+			}
+		}
+	}
+	k.MustSchedule(1, chain(0))
+	if err := k.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 51 {
+		t.Fatalf("fired %d events, want 51", len(fired))
+	}
+	for i, d := range fired {
+		if d != i {
+			t.Fatalf("fired = %v, want ascending depths", fired)
+		}
+	}
+}

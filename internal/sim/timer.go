@@ -4,15 +4,21 @@ package sim
 // block for protocol timeouts (route expiry, voting-round deadlines, beacon
 // periods). The zero value is not usable; use NewTimer.
 type Timer struct {
-	k  *Kernel
-	fn func()
-	id EventID
-	at Time
+	k    *Kernel
+	fn   func()
+	wrap func() // built once; Reset would otherwise allocate a closure per arming
+	id   EventID
+	at   Time
 }
 
 // NewTimer returns a stopped timer that runs fn on the kernel when it fires.
 func NewTimer(k *Kernel, fn func()) *Timer {
-	return &Timer{k: k, fn: fn}
+	t := &Timer{k: k, fn: fn}
+	t.wrap = func() {
+		t.id = 0
+		t.fn()
+	}
+	return t
 }
 
 // Reset (re)arms the timer to fire after delay, cancelling any pending
@@ -20,10 +26,7 @@ func NewTimer(k *Kernel, fn func()) *Timer {
 func (t *Timer) Reset(delay Duration) {
 	t.Stop()
 	t.at = t.k.Now() + delay
-	t.id = t.k.MustSchedule(delay, func() {
-		t.id = 0
-		t.fn()
-	})
+	t.id = t.k.MustSchedule(delay, t.wrap)
 }
 
 // Stop cancels a pending firing. It reports whether a firing was pending.
