@@ -32,6 +32,7 @@ import (
 
 	"innercircle/internal/crypto/thresh"
 	"innercircle/internal/experiment"
+	"innercircle/internal/faults"
 	"innercircle/internal/fusion"
 	"innercircle/internal/geo"
 	"innercircle/internal/node"
@@ -224,3 +225,34 @@ func SensorSweep(base SensorConfig, levels []int, faults []FaultKind, runs int, 
 
 // AllFaultKinds lists the Fig. 8 fault sweep order.
 func AllFaultKinds() []FaultKind { return sensor.AllFaultKinds() }
+
+// ---- Fault-injection campaigns (internal/faults) --------------------------
+
+// Fault-campaign types; see internal/faults for the fault catalogue and
+// README for the JSON schema.
+type (
+	// Campaign is a named, declarative fault/attack scenario.
+	Campaign = faults.Campaign
+	// CampaignEntry is one (fault, params, targets, schedule) line.
+	CampaignEntry = faults.Entry
+	// CampaignTables bundles a campaign sweep's output tables.
+	CampaignTables = experiment.CampaignTables
+)
+
+// LoadCampaign reads and validates a campaign JSON file.
+func LoadCampaign(path string) (Campaign, error) { return faults.Load(path) }
+
+// ParseCampaign decodes and validates campaign JSON.
+func ParseCampaign(data []byte) (Campaign, error) { return faults.Parse(data) }
+
+// ParsePreset builds a preset campaign from a shorthand spec such as
+// "blackhole:3", "grayhole:3:0.5" or "churn:3:30:10".
+func ParsePreset(spec string) (Campaign, error) { return faults.ParsePreset(spec) }
+
+// CampaignSweep fans campaigns across {No IC} ∪ {IC, L=l} configurations
+// on the parallel worker pool, returning throughput, energy, and the
+// injected/suppressed/leaked neutralization-coverage tables. Same seed
+// and campaigns yield byte-identical tables at any IC_WORKERS count.
+func CampaignSweep(base BlackholeConfig, campaigns []Campaign, levels []int, runs int, progress io.Writer) (*CampaignTables, error) {
+	return experiment.CampaignSweep(base, campaigns, levels, runs, progress)
+}

@@ -71,6 +71,7 @@ type Stats struct {
 	RrepForwarded  uint64
 	RerrSent       uint64
 	BlackHoleDrops uint64 // data maliciously dropped (attacker only)
+	ForgedRreps    uint64 // fabricated route replies sent (attacker only)
 }
 
 // Router is one node's AODV entity. Not safe for concurrent use.
@@ -139,6 +140,14 @@ func (r *Router) SetBlackHole(on bool) { r.blackHole = on }
 func (r *Router) SetGrayHole(p float64, rng *sim.RNG) {
 	r.grayProb = p
 	r.grayRNG = rng
+}
+
+// MisbehaviorCount reports how many attack actions this router has taken
+// (forged route replies plus maliciously dropped packets). It satisfies
+// the fault-injection subsystem's RouterCtl interface and feeds its
+// coverage counters.
+func (r *Router) MisbehaviorCount() uint64 {
+	return r.Stats.ForgedRreps + r.Stats.BlackHoleDrops
 }
 
 // misbehaving samples whether this opportunity is attacked.
@@ -317,6 +326,7 @@ func (r *Router) onRREQ(from link.NodeID, m RREQ) {
 			NextHop:  from,
 		}
 		r.Stats.RrepOriginated++
+		r.Stats.ForgedRreps++
 		_ = r.deps.Link.SendRaw(from, forged)
 		return
 	}

@@ -70,6 +70,15 @@ type GroupKey interface {
 	SigBytes() int
 }
 
+// PartialVerifier is the optional GroupKey capability of checking one
+// partial signature in isolation. The keyed-MAC SimScheme implements it;
+// threshold RSA cannot without share-verification proofs, so its corrupt
+// partials are only identified at combine time (the voting service's
+// leave-one-out fallback).
+type PartialVerifier interface {
+	VerifyPartial(msg []byte, p Partial) bool
+}
+
 // Dealer deals group keys. The paper assumes shares are installed by a
 // trusted dealer at system initialization (§2).
 type Dealer interface {
@@ -186,6 +195,13 @@ func (g *simGroupKey) Combine(msg []byte, partials []Partial) (Signature, error)
 		buf.Write(p.Data)
 	}
 	return Signature{Data: buf.Bytes()}, nil
+}
+
+// VerifyPartial implements PartialVerifier: keyed-MAC partials are
+// individually checkable, so a corrupt share is identified the moment it
+// arrives rather than at combine time.
+func (g *simGroupKey) VerifyPartial(msg []byte, p Partial) bool {
+	return p.Index >= 1 && p.Index <= g.n && g.checkPartial(msg, p)
 }
 
 func (g *simGroupKey) checkPartial(msg []byte, p Partial) bool {

@@ -7,9 +7,11 @@ package experiment
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"innercircle/internal/aodv"
 	"innercircle/internal/energy"
+	"innercircle/internal/faults"
 	"innercircle/internal/geo"
 	"innercircle/internal/link"
 	"innercircle/internal/mac"
@@ -39,11 +41,19 @@ type BlackholeConfig struct {
 	// GrayProb, when positive, makes the malicious nodes gray holes that
 	// misbehave with this probability per opportunity instead of always.
 	GrayProb float64
+	// Campaign, when non-nil, replaces the Malicious/GrayProb adversary
+	// with an arbitrary fault campaign (internal/faults). The legacy
+	// knobs are internally routed through the equivalent campaign preset,
+	// so Malicious=m and Campaign=&BlackholePreset(m) produce identical
+	// results. The campaign is read-only and may be shared by replicas.
+	Campaign *faults.Campaign
 	IC       bool
 	L        int
 	Seed     int64
 	// Tracer, when non-nil, taps all wire traffic (slower; for debugging
-	// and the icsim tool).
+	// and the icsim tool). A tracer belongs to exactly one replica: the
+	// sweep entry points reject a config carrying one, because their
+	// parallel workers would all write into it concurrently.
 	Tracer *trace.Tracer
 }
 
@@ -64,12 +74,25 @@ func PaperBlackholeConfig() BlackholeConfig {
 	}
 }
 
-// BlackholeResult is the outcome of one run.
+// BlackholeResult is the outcome of one run. It must stay comparable
+// with == (no slice/map fields): the determinism tests compare whole
+// results across replicas.
 type BlackholeResult struct {
-	Sent          int
-	Received      int
-	Throughput    float64 // received/sent, in percent
-	EnergyPerNode float64 // joules
+	Sent            int
+	Received        int     // delivered intact
+	ReceivedCorrupt int     // delivered with a fault-corrupted payload
+	Throughput      float64 // received/sent, in percent
+	EnergyPerNode   float64 // joules
+
+	// Fault-injection coverage (all zero without an adversary):
+	// FaultsInjected counts attack/fault actions taken, FaultsSuppressed
+	// counts protocol-level neutralizations (bad-signature and
+	// suspected-sender suppressions, rejected beacons, corrupt partials
+	// identified, invalid agreed messages), and FaultsLeaked counts
+	// corrupted payloads that reached an application sink.
+	FaultsInjected   uint64
+	FaultsSuppressed uint64
+	FaultsLeaked     uint64
 }
 
 // RunBlackhole executes one Fig. 7 simulation run.
@@ -98,6 +121,7 @@ func RunBlackhole(cfg BlackholeConfig) (BlackholeResult, error) {
 	routers := make([]*aodv.Router, cfg.Nodes)
 	adapters := make([]*aodv.ICAdapter, cfg.Nodes)
 	received := 0
+	receivedCorrupt := 0
 
 	ncfg := node.Config{
 		N:      cfg.Nodes,
@@ -128,7 +152,13 @@ func RunBlackhole(cfg BlackholeConfig) (BlackholeResult, error) {
 			panic(err) // static config; cannot fail
 		}
 		routers[nd.Index] = r
-		r.OnDeliver(func(aodv.Data) { received++ })
+		r.OnDeliver(func(d aodv.Data) {
+			if s, ok := d.Payload.(string); ok && strings.HasPrefix(s, corruptMark) {
+				receivedCorrupt++ // a corrupt fault leaked through to the sink
+				return
+			}
+			received++
+		})
 		nd.Handle(r.HandleEnv)
 		return r
 	}
@@ -155,9 +185,7 @@ func RunBlackhole(cfg BlackholeConfig) (BlackholeResult, error) {
 			buildRouter(nd)
 		}
 	}
-	net.StartSTS()
-
-	// Traffic: pick connection endpoints, then malicious nodes from the
+	// Traffic: pick connection endpoints, then attackers from the
 	// remaining population (a black hole that is itself an endpoint would
 	// trivially zero its own connection).
 	trafRNG := seedRNG.Split("traffic")
@@ -171,14 +199,52 @@ func RunBlackhole(cfg BlackholeConfig) (BlackholeResult, error) {
 	for i := range conns {
 		conns[i] = conn{src: perm[2*i], dst: perm[2*i+1]}
 	}
-	for i := 0; i < cfg.Malicious; i++ {
-		r := routers[perm[cfg.Connections*2+i]]
+
+	// Adversary: an explicit campaign, or the legacy Malicious/GrayProb
+	// knobs routed through the equivalent preset. Either way the campaign
+	// draws Count-selected attackers from the permutation's tail, and
+	// gray-hole RNG streams split off the seed exactly as the hand-wired
+	// code did, so the legacy path is reproduced bit for bit.
+	camp := cfg.Campaign
+	if camp == nil && cfg.Malicious > 0 {
+		var c faults.Campaign
 		if cfg.GrayProb > 0 {
-			r.SetGrayHole(cfg.GrayProb, seedRNG.SplitN("gray", i))
+			c = faults.GrayholePreset(cfg.Malicious, cfg.GrayProb)
 		} else {
-			r.SetBlackHole(true)
+			c = faults.BlackholePreset(cfg.Malicious)
+		}
+		camp = &c
+	}
+	var applied *faults.Applied
+	if camp != nil {
+		applied, err = faults.Apply(faults.Fabric{
+			K:     net.K,
+			RNG:   seedRNG,
+			N:     cfg.Nodes,
+			Order: perm[cfg.Connections*2:],
+			Link: func(i int) faults.LinkPort {
+				return net.Nodes[i].Link
+			},
+			Router: func(i int) faults.RouterCtl {
+				if routers[i] == nil {
+					return nil
+				}
+				return routers[i]
+			},
+			Vote: func(i int) faults.VoteCtl {
+				if net.Nodes[i].Vote == nil {
+					return nil
+				}
+				return net.Nodes[i].Vote
+			},
+			Mutate: corruptPayload,
+		}, camp)
+		if err != nil {
+			return BlackholeResult{}, fmt.Errorf("experiment: %w", err)
 		}
 	}
+
+	net.StartSTS()
 
 	// CBR generators.
 	sent := 0
@@ -204,12 +270,49 @@ func RunBlackhole(cfg BlackholeConfig) (BlackholeResult, error) {
 		return BlackholeResult{}, fmt.Errorf("experiment: run: %w", err)
 	}
 
-	res := BlackholeResult{Sent: sent, Received: received}
+	res := BlackholeResult{Sent: sent, Received: received, ReceivedCorrupt: receivedCorrupt}
 	if sent > 0 {
 		res.Throughput = 100 * float64(received) / float64(sent)
 	}
 	res.EnergyPerNode = net.TotalEnergy() / float64(cfg.Nodes)
+	if applied != nil {
+		res.FaultsInjected = applied.Report().TotalInjected()
+		res.FaultsLeaked = uint64(receivedCorrupt)
+		for _, nd := range net.Nodes {
+			if nd.Intercept != nil {
+				res.FaultsSuppressed += nd.Intercept.Stats.SuppressedSuspect + nd.Intercept.Stats.SuppressedBadSig
+			}
+			if nd.STS != nil {
+				res.FaultsSuppressed += nd.STS.Stats.BeaconsRejected
+			}
+			if nd.Vote != nil {
+				res.FaultsSuppressed += nd.Vote.Stats.PartialsRejected + nd.Vote.Stats.AgreedInvalid
+			}
+		}
+	}
 	return res, nil
+}
+
+// corruptMark prefixes CBR payloads mangled by a corrupt fault, so the
+// sink can tell leaked corruption from intact delivery.
+const corruptMark = "\x00corrupt\x00"
+
+// corruptPayload is the campaign fabric's Mutate hook: it extends the
+// corrupt fault to AODV data payloads (the faults package itself only
+// knows signature-bearing protocol messages). Copy-on-write — Data is a
+// value and the string payload is immutable.
+func corruptPayload(e link.Env, _ *sim.RNG) (link.Env, bool) {
+	d, ok := e.Msg.(aodv.Data)
+	if !ok {
+		return e, false
+	}
+	s, ok := d.Payload.(string)
+	if !ok || strings.HasPrefix(s, corruptMark) {
+		return e, false
+	}
+	d.Payload = corruptMark + s
+	e.Msg = d
+	return e, true
 }
 
 // BlackholeSweep runs the full Fig. 7 sweep: configurations {No IC,
@@ -220,6 +323,9 @@ func RunBlackhole(cfg BlackholeConfig) (BlackholeResult, error) {
 // into the tables in enumeration order, so the output is identical for any
 // worker count (IC_WORKERS overrides the default of one worker per core).
 func BlackholeSweep(base BlackholeConfig, maliciousCounts []int, levels []int, runs int, progress io.Writer) (throughput, energyTbl *stats.Table, err error) {
+	if base.Tracer != nil {
+		return nil, nil, fmt.Errorf("experiment: sweep config must not carry a Tracer — each replica needs its own (a shared one races across workers)")
+	}
 	throughput = stats.NewTable("Fig. 7(a) Network throughput [%]", "config \\ #malicious")
 	energyTbl = stats.NewTable("Fig. 7(b) Energy consumption [J/node]", "config \\ #malicious")
 

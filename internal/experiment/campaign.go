@@ -1,0 +1,112 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"innercircle/internal/faults"
+	"innercircle/internal/stats"
+)
+
+// CampaignTables bundles the outputs of a fault-campaign sweep: the
+// classic throughput/energy tables plus the neutralization-coverage
+// tables that turn the paper's qualitative claim — errors and attacks are
+// suppressed at the source — into a measurable regression surface.
+type CampaignTables struct {
+	Throughput *stats.Table // delivered intact / sent [%]
+	Energy     *stats.Table // joules per node
+	Injected   *stats.Table // fault actions taken per run
+	Suppressed *stats.Table // neutralized by the inner circle per run
+	Leaked     *stats.Table // corrupted payloads delivered per run
+}
+
+// CampaignSweep runs every (configuration row × campaign × run) replica
+// on the parallel worker pool: rows are {No IC} plus {IC, L=l} for each
+// level, columns are the campaign names. Per-replica seeds follow
+// base.Seed + 1000*ci + run (ci = campaign index), mirroring
+// BlackholeSweep's 1000*m + run, so a preset sweep whose campaign indices
+// equal the legacy malicious counts reproduces the legacy tables byte for
+// byte. Results fold in enumeration order, making the output identical at
+// any IC_WORKERS count.
+func CampaignSweep(base BlackholeConfig, campaigns []faults.Campaign, levels []int, runs int, progress io.Writer) (*CampaignTables, error) {
+	if len(campaigns) == 0 {
+		return nil, fmt.Errorf("experiment: campaign sweep needs at least one campaign")
+	}
+	if base.Tracer != nil {
+		return nil, fmt.Errorf("experiment: sweep config must not carry a Tracer — each replica needs its own (a shared one races across workers)")
+	}
+	for i := range campaigns {
+		if err := campaigns[i].Validate(); err != nil {
+			return nil, fmt.Errorf("experiment: %w", err)
+		}
+	}
+	t := &CampaignTables{
+		Throughput: stats.NewTable("Campaign sweep: network throughput [%]", "config \\ campaign"),
+		Energy:     stats.NewTable("Campaign sweep: energy consumption [J/node]", "config \\ campaign"),
+		Injected:   stats.NewTable("Campaign sweep: faults injected [#/run]", "config \\ campaign"),
+		Suppressed: stats.NewTable("Campaign sweep: faults suppressed by inner circle [#/run]", "config \\ campaign"),
+		Leaked:     stats.NewTable("Campaign sweep: corrupted payloads leaked [#/run]", "config \\ campaign"),
+	}
+
+	type rowSpec struct {
+		label string
+		ic    bool
+		level int
+	}
+	rows := []rowSpec{{label: "No IC"}}
+	for _, l := range levels {
+		rows = append(rows, rowSpec{label: fmt.Sprintf("IC, L=%d", l), ic: true, level: l})
+	}
+
+	type cell struct {
+		row, col string
+	}
+	var jobs []Job
+	var cells []cell
+	for _, row := range rows {
+		for ci := range campaigns {
+			for run := 0; run < runs; run++ {
+				cfg := base
+				cfg.IC = row.ic
+				cfg.L = row.level
+				if cfg.L == 0 {
+					cfg.L = 1
+				}
+				cfg.Malicious = 0
+				cfg.GrayProb = 0
+				cfg.Campaign = &campaigns[ci]
+				cfg.Seed = base.Seed + int64(1000*ci+run)
+				jobs = append(jobs, Job{
+					Index: len(jobs),
+					Label: fmt.Sprintf("%s campaign=%s run=%d", row.label, campaigns[ci].Name, run),
+					Run: func() (any, error) {
+						res, err := RunBlackhole(cfg)
+						if err != nil {
+							return nil, err
+						}
+						return res, nil
+					},
+				})
+				cells = append(cells, cell{row: row.label, col: campaigns[ci].Name})
+			}
+		}
+	}
+
+	results, err := RunJobs(jobs, 0, progressWriter(progress, func(j Job, result any) string {
+		res := result.(BlackholeResult)
+		return fmt.Sprintf("%s: throughput=%.1f%% injected=%d suppressed=%d leaked=%d\n",
+			j.Label, res.Throughput, res.FaultsInjected, res.FaultsSuppressed, res.FaultsLeaked)
+	}))
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		res := r.(BlackholeResult)
+		t.Throughput.Add(cells[i].row, cells[i].col, res.Throughput)
+		t.Energy.Add(cells[i].row, cells[i].col, res.EnergyPerNode)
+		t.Injected.Add(cells[i].row, cells[i].col, float64(res.FaultsInjected))
+		t.Suppressed.Add(cells[i].row, cells[i].col, float64(res.FaultsSuppressed))
+		t.Leaked.Add(cells[i].row, cells[i].col, float64(res.FaultsLeaked))
+	}
+	return t, nil
+}

@@ -1,0 +1,42 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"innercircle/internal/faults"
+	"innercircle/internal/trace"
+)
+
+// TestSweepsRejectSharedTracer guards the tracer-ownership rule: a Tracer
+// belongs to exactly one replica, so a sweep base config carrying one —
+// which every parallel worker would copy by pointer and write into
+// concurrently — is rejected up front rather than racing at runtime.
+func TestSweepsRejectSharedTracer(t *testing.T) {
+	base := tinyCampaign()
+	base.Tracer = trace.New(0)
+
+	_, _, err := BlackholeSweep(base, []int{0}, []int{1}, 1, nil)
+	if err == nil || !strings.Contains(err.Error(), "Tracer") {
+		t.Fatalf("BlackholeSweep accepted a shared tracer (err = %v)", err)
+	}
+
+	_, err = CampaignSweep(base, []faults.Campaign{faults.BlackholePreset(0)}, []int{1}, 1, nil)
+	if err == nil || !strings.Contains(err.Error(), "Tracer") {
+		t.Fatalf("CampaignSweep accepted a shared tracer (err = %v)", err)
+	}
+}
+
+// TestPerReplicaTracerIsFine pins the supported pattern: each replica
+// constructs and owns its own tracer.
+func TestPerReplicaTracerIsFine(t *testing.T) {
+	cfg := tinyCampaign()
+	cfg.Tracer = trace.New(0)
+	if _, err := RunBlackhole(cfg); err != nil {
+		t.Fatal(err)
+	}
+	counts := cfg.Tracer.Counts()
+	if len(counts) == 0 {
+		t.Fatal("per-replica tracer recorded nothing")
+	}
+}

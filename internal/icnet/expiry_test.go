@@ -1,0 +1,53 @@
+package icnet
+
+import (
+	"testing"
+
+	"innercircle/internal/sim"
+)
+
+// TestTemporarySuspicionExpiresExactlyAtDeadline pins the boundary: a
+// temporary suspicion recorded at t lasts while now < t+tempDur, so at
+// exactly the deadline the node is already clean again.
+func TestTemporarySuspicionExpiresExactlyAtDeadline(t *testing.T) {
+	k := sim.NewKernel()
+	s := NewSuspicionManager(k, 60)
+	s.SuspectTemporary(5, "late ack")
+	if err := k.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(k.Now()); got != 60 {
+		t.Fatalf("clock at %v, want exactly the deadline", got)
+	}
+	if s.Suspected(5) {
+		t.Fatal("suspicion active at now == deadline; the window is half-open [t, t+dur)")
+	}
+	if snap := s.Snapshot(); len(snap) != 0 {
+		t.Fatalf("Snapshot still lists expired node: %v", snap)
+	}
+}
+
+// TestPermanentSuspicionSurvivesWouldBeExpiry upgrades a temporary
+// suspicion to permanent and checks the node stays suspected at and past
+// the instant the temporary window would have ended.
+func TestPermanentSuspicionSurvivesWouldBeExpiry(t *testing.T) {
+	k := sim.NewKernel()
+	s := NewSuspicionManager(k, 60)
+	s.SuspectTemporary(5, "late ack")
+	s.SuspectPermanent(5, "signed invalid RREP")
+	if err := k.Run(60); err != nil { // the temporary deadline
+		t.Fatal(err)
+	}
+	if !s.Suspected(5) {
+		t.Fatal("permanent suspicion vanished at the temporary deadline")
+	}
+	if err := k.Run(1e6); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Suspected(5) {
+		t.Fatal("permanent suspicion expired")
+	}
+	if snap := s.Snapshot(); len(snap) != 1 || snap[0] != 5 {
+		t.Fatalf("Snapshot = %v, want [5]", snap)
+	}
+}

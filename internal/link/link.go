@@ -38,11 +38,25 @@ type Filter interface {
 	Inbound(Env) bool
 }
 
+// Tap intercepts traffic at the link/MAC boundary — below the filters, so
+// it sees every message, including the raw protocol traffic that bypasses
+// them. It is the fault-injection hook (internal/faults). Outbound runs
+// as a message is handed to the MAC; Inbound runs after the radio
+// delivers one and before the filter chain. A tap forwards each envelope
+// by calling emit: zero times to drop it, twice to duplicate it, later
+// (via a kernel event) to delay it, or with a mutated copy to corrupt it.
+// emit stays valid after the call returns, so deferred emission is safe.
+type Tap interface {
+	Outbound(e Env, emit func(Env))
+	Inbound(e Env, emit func(Env))
+}
+
 // Service is one node's single-hop communication service.
 type Service struct {
 	mac      *mac.MAC
 	id       NodeID
 	filters  []Filter
+	tap      Tap
 	observer func(outbound bool, e Env)
 	onRecv   func(Env)
 	onFailed func(Env)
@@ -75,6 +89,12 @@ func (s *Service) SetObserver(fn func(outbound bool, e Env)) { s.observer = fn }
 // retries (the link-breakage signal).
 func (s *Service) OnSendFailed(fn func(Env)) { s.onFailed = fn }
 
+// SetTap installs the fault-injection tap; nil restores the direct path.
+// With a tap installed, the outbound observer sees what actually reaches
+// the MAC (post-fault), while the inbound observer still sees what the
+// radio delivered (pre-fault).
+func (s *Service) SetTap(t Tap) { s.tap = t }
+
 // Send transmits msg to the given destination (BroadcastID for broadcast).
 // Outbound filters may swallow the message, which is not an error: the
 // interceptor redirecting a message into the voting service looks like
@@ -93,10 +113,28 @@ func (s *Service) Send(to NodeID, msg Message) error {
 // use it to emit their own protocol traffic (which must not be
 // re-intercepted).
 func (s *Service) SendRaw(to NodeID, msg Message) error {
-	if s.observer != nil {
-		s.observer(true, Env{From: s.id, To: to, Msg: msg})
+	env := Env{From: s.id, To: to, Msg: msg}
+	if s.tap == nil {
+		return s.transmit(env)
 	}
-	return s.mac.Send(mac.Addr(to), msg, msg.Size())
+	s.tap.Outbound(env, s.emitOut)
+	return nil
+}
+
+// emitOut is the tap's outbound continuation.
+func (s *Service) emitOut(e Env) { _ = s.transmit(e) }
+
+// transmit hands one envelope to the MAC. An envelope whose From differs
+// from this node — identity spoofing injected by a tap — goes out with a
+// forged link-layer source.
+func (s *Service) transmit(e Env) error {
+	if s.observer != nil {
+		s.observer(true, e)
+	}
+	if e.From != s.id {
+		return s.mac.SendAs(mac.Addr(e.From), mac.Addr(e.To), e.Msg, e.Msg.Size())
+	}
+	return s.mac.Send(mac.Addr(e.To), e.Msg, e.Msg.Size())
 }
 
 func (s *Service) recv(p mac.Packet) {
@@ -108,13 +146,22 @@ func (s *Service) recv(p mac.Packet) {
 	if s.observer != nil {
 		s.observer(false, env)
 	}
+	if s.tap == nil {
+		s.deliver(env)
+		return
+	}
+	s.tap.Inbound(env, s.deliver)
+}
+
+// deliver runs the inbound filter chain and the upward handler.
+func (s *Service) deliver(e Env) {
 	for _, f := range s.filters {
-		if !f.Inbound(env) {
+		if !f.Inbound(e) {
 			return
 		}
 	}
 	if s.onRecv != nil {
-		s.onRecv(env)
+		s.onRecv(e)
 	}
 }
 

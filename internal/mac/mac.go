@@ -173,16 +173,27 @@ func (m *MAC) OnSendFailed(fn func(Packet)) { m.onSendFailed = fn }
 
 // Send queues a packet for transmission.
 func (m *MAC) Send(dst Addr, payload any, bytes int) error {
+	return m.enqueue(Packet{Src: m.addr, Dst: dst, Payload: payload, Bytes: bytes})
+}
+
+// SendAs queues a packet whose link-layer source is forged as src. It is
+// the identity-spoofing hook of the fault-injection subsystem
+// (internal/faults); correct stacks never call it. Receivers acknowledge
+// the claimed source, so a spoofed unicast never sees its ACK and burns
+// its whole retry budget — spoofing is meant for broadcast frames (STS
+// beacons).
+func (m *MAC) SendAs(src, dst Addr, payload any, bytes int) error {
+	return m.enqueue(Packet{Src: src, Dst: dst, Payload: payload, Bytes: bytes})
+}
+
+func (m *MAC) enqueue(pkt Packet) error {
 	if len(m.queue) >= m.params.QueueLimit {
 		m.Stats.DataDropped++
 		return ErrQueueFull
 	}
 	m.nextSeq++
 	m.Stats.DataQueued++
-	m.queue = append(m.queue, &txJob{
-		pkt: Packet{Src: m.addr, Dst: dst, Payload: payload, Bytes: bytes},
-		seq: m.nextSeq,
-	})
+	m.queue = append(m.queue, &txJob{pkt: pkt, seq: m.nextSeq})
 	if !m.sending {
 		m.startNext()
 	}
@@ -224,7 +235,7 @@ func (m *MAC) transmitCur() {
 	job := m.cur
 	f := frame{
 		kind:    frameData,
-		src:     m.addr,
+		src:     job.pkt.Src, // m.addr, unless forged via SendAs
 		dst:     job.pkt.Dst,
 		seq:     job.seq,
 		payload: job.pkt.Payload,

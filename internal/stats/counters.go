@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Counters is an ordered set of named uint64 event counters — the
+// aggregation vehicle for the fault-injection coverage numbers (injected
+// / suppressed / leaked). Insertion order is preserved so String and
+// Merge are deterministic; a plain map would scramble output between
+// runs. The zero value is not ready: use NewCounters.
+type Counters struct {
+	names []string
+	idx   map[string]int
+	vals  []uint64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{idx: make(map[string]int)}
+}
+
+// Add increments the named counter by n, creating it on first use.
+func (c *Counters) Add(name string, n uint64) {
+	i, ok := c.idx[name]
+	if !ok {
+		i = len(c.names)
+		c.idx[name] = i
+		c.names = append(c.names, name)
+		c.vals = append(c.vals, 0)
+	}
+	c.vals[i] += n
+}
+
+// Get returns the named counter's value (0 if absent).
+func (c *Counters) Get(name string) uint64 {
+	if i, ok := c.idx[name]; ok {
+		return c.vals[i]
+	}
+	return 0
+}
+
+// Names returns the counter names in insertion order.
+func (c *Counters) Names() []string { return append([]string(nil), c.names...) }
+
+// Merge adds every counter of o into c, preserving o's order for names c
+// has not seen yet.
+func (c *Counters) Merge(o *Counters) {
+	for i, name := range o.names {
+		c.Add(name, o.vals[i])
+	}
+}
+
+// String renders "name=value" pairs in insertion order.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for i, name := range c.names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", name, c.vals[i])
+	}
+	return b.String()
+}

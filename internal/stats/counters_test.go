@@ -1,0 +1,57 @@
+package stats
+
+import "testing"
+
+func TestCountersAddGet(t *testing.T) {
+	c := NewCounters()
+	if got := c.Get("missing"); got != 0 {
+		t.Fatalf("absent counter = %d, want 0", got)
+	}
+	c.Add("drop", 3)
+	c.Add("drop", 2)
+	c.Add("corrupt", 1)
+	if got := c.Get("drop"); got != 5 {
+		t.Fatalf("drop = %d, want 5", got)
+	}
+	if got := c.Get("corrupt"); got != 1 {
+		t.Fatalf("corrupt = %d, want 1", got)
+	}
+}
+
+func TestCountersOrderIsInsertion(t *testing.T) {
+	c := NewCounters()
+	c.Add("z", 1)
+	c.Add("a", 2)
+	c.Add("m", 3)
+	c.Add("z", 1) // re-touch must not move it
+	want := []string{"z", "a", "m"}
+	got := c.Names()
+	if len(got) != len(want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v, want %v", got, want)
+		}
+	}
+	if s := c.String(); s != "z=2 a=2 m=3" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestCountersMerge(t *testing.T) {
+	a := NewCounters()
+	a.Add("drop", 1)
+	a.Add("delay", 2)
+	b := NewCounters()
+	b.Add("delay", 3)
+	b.Add("spoof", 4)
+	a.Merge(b)
+	if s := a.String(); s != "drop=1 delay=5 spoof=4" {
+		t.Fatalf("merged String() = %q", s)
+	}
+	// Merge must not disturb the source.
+	if s := b.String(); s != "delay=3 spoof=4" {
+		t.Fatalf("source mutated by merge: %q", s)
+	}
+}

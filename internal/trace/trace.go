@@ -55,7 +55,12 @@ func (e Event) String() string {
 
 // Tracer accumulates events up to a capacity (older events are dropped
 // first) and counts every message type seen. Not safe for concurrent use —
-// simulations are single-threaded.
+// simulations are single-threaded, so a Tracer must be owned by exactly
+// one replica. In particular, never put one Tracer into a sweep's base
+// config: the parallel worker pool runs replicas concurrently, and a
+// shared tracer's event and counter maps would race. The sweep entry
+// points reject such configs; single-replica runs (RunBlackhole with a
+// hand-built config, the cmd tools' -trace flags) are the intended users.
 type Tracer struct {
 	now    func() sim.Time
 	cap    int

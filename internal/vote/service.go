@@ -99,6 +99,9 @@ type Stats struct {
 	ChecksRejected  uint64
 	AgreedDelivered uint64
 	AgreedInvalid   uint64
+	// PartialsRejected counts acks the center's leave-one-out combine
+	// identified as corrupt (a Byzantine voter neutralized).
+	PartialsRejected uint64
 }
 
 // roundState is the center's per-round bookkeeping.
@@ -132,6 +135,9 @@ type Service struct {
 	delivered map[agreedKey]bool
 
 	cbs Callbacks
+
+	// byz, when non-nil, makes this node lie (fault injection).
+	byz *Byzantine
 
 	// Stats exposes counters to the experiment harness.
 	Stats Stats
@@ -334,8 +340,11 @@ func (s *Service) onPropose(from link.NodeID, m ProposeMsg) {
 	// interceptor's job.
 	case Deterministic:
 		if s.cbs.Check != nil && !s.cbs.Check(m.Center, m.Value) {
-			s.Stats.ChecksRejected++
-			return
+			if s.byz == nil || !s.byz.AckAll {
+				s.Stats.ChecksRejected++
+				return
+			}
+			s.byz.lie() // colluding voter: approve what the check rejected
 		}
 	case Statistical:
 		if !s.verifyStatPropose(m) {
@@ -394,6 +403,10 @@ func (s *Service) sendAck(m ProposeMsg) {
 	if err != nil {
 		return
 	}
+	if s.byz != nil && s.byz.CorruptAcks {
+		p.Data = flipOneBit(p.Data, s.byz.RNG)
+		s.byz.lie()
+	}
 	s.Stats.AcksSent++
 	dst := m.Center
 	if m.Relayed {
@@ -449,6 +462,10 @@ func (s *Service) onSolicit(from link.NodeID, m SolicitMsg) {
 	val, ok := s.cbs.LocalValue(m.Center, m.Meta)
 	if !ok {
 		return
+	}
+	if s.byz != nil && s.byz.LieValue != nil {
+		val = s.byz.LieValue(m.Center, m.Meta, val)
+		s.byz.lie()
 	}
 	sig := s.deps.SignKP.Sign(valueDigest(m.Center, m.Seq, s.deps.ID, val))
 	s.Stats.ValuesSent++
@@ -538,6 +555,19 @@ func (s *Service) onAck(from link.NodeID, m AckMsg) {
 	if _, dup := r.acks[m.Voter]; dup {
 		return
 	}
+	// Schemes with individually checkable partials (keyed MAC) identify a
+	// corrupt share on arrival: the lie is rejected at the source and the
+	// liar permanently suspected. Threshold RSA lacks this capability and
+	// relies on tryComplete's leave-one-out fallback instead.
+	if pv, ok := s.deps.Ring[s.cfg.L].(thresh.PartialVerifier); ok {
+		if !pv.VerifyPartial(digest(s.deps.ID, r.seq, s.cfg.L, r.value), m.Partial) {
+			s.Stats.PartialsRejected++
+			if s.deps.Susp != nil {
+				s.deps.Susp.SuspectPermanent(m.Voter, "corrupt partial signature")
+			}
+			return
+		}
+	}
 	r.acks[m.Voter] = m.Partial
 	if len(r.acks) >= s.cfg.L {
 		s.tryComplete(r)
@@ -583,6 +613,7 @@ func (s *Service) tryComplete(r *roundState) {
 				subset = append(subset, r.acks[v])
 			}
 			if sig, err = gk.Combine(dig, subset); err == nil {
+				s.Stats.PartialsRejected++
 				if s.deps.Susp != nil {
 					s.deps.Susp.SuspectPermanent(voters[skip], "corrupt partial signature")
 				}
