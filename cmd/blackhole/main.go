@@ -15,11 +15,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
-	"runtime/pprof"
 
 	ic "innercircle"
+	"innercircle/internal/cliutil"
 )
 
 func run() error {
@@ -36,17 +35,11 @@ func run() error {
 	)
 	flag.Parse()
 
-	if *cpuprof != "" {
-		f, err := os.Create(*cpuprof)
-		if err != nil {
-			return fmt.Errorf("cpuprofile: %w", err)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return fmt.Errorf("cpuprofile: %w", err)
-		}
-		defer pprof.StopCPUProfile()
+	stop, err := cliutil.StartCPUProfile(*cpuprof)
+	if err != nil {
+		return err
 	}
+	defer stop()
 
 	base := ic.PaperBlackholeConfig()
 	base.Seed = *seed
@@ -65,14 +58,10 @@ func run() error {
 		*runs = 2
 	}
 
-	var progress io.Writer = os.Stderr
-	if *quiet {
-		progress = nil
-	}
 	fmt.Fprintf(os.Stderr, "sweep: %d nodes, %v per run, %d runs/point, malicious counts %v\n",
 		base.Nodes, base.SimTime, *runs, counts)
 
-	throughput, energy, err := ic.BlackholeSweep(base, counts, levels, *runs, progress)
+	throughput, energy, err := ic.BlackholeSweep(base, counts, levels, *runs, cliutil.Progress(*quiet))
 	if err != nil {
 		return err
 	}
@@ -82,8 +71,5 @@ func run() error {
 }
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "blackhole:", err)
-		os.Exit(1)
-	}
+	cliutil.Main("blackhole", run)
 }

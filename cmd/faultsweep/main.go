@@ -20,12 +20,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
-	"strconv"
-	"strings"
 
 	ic "innercircle"
+	"innercircle/internal/cliutil"
 )
 
 func run() error {
@@ -43,14 +41,14 @@ func run() error {
 	flag.Parse()
 
 	var campaigns []ic.Campaign
-	for _, path := range splitCSV(*campaignCSV) {
+	for _, path := range cliutil.SplitCSV(*campaignCSV) {
 		c, err := ic.LoadCampaign(path)
 		if err != nil {
 			return err
 		}
 		campaigns = append(campaigns, c)
 	}
-	for _, spec := range splitCSV(*presetCSV) {
+	for _, spec := range cliutil.SplitCSV(*presetCSV) {
 		c, err := ic.ParsePreset(spec)
 		if err != nil {
 			return err
@@ -71,13 +69,9 @@ func run() error {
 		}
 	}
 
-	var levels []int
-	for _, s := range splitCSV(*levelsCSV) {
-		l, err := strconv.Atoi(s)
-		if err != nil || l < 1 {
-			return fmt.Errorf("bad level %q", s)
-		}
-		levels = append(levels, l)
+	levels, err := cliutil.ParseLevels(*levelsCSV)
+	if err != nil {
+		return err
 	}
 
 	base := ic.PaperBlackholeConfig()
@@ -86,10 +80,6 @@ func run() error {
 	base.Seed = *seed
 	base.SimTime = ic.Time(*simTime)
 
-	var progress io.Writer = os.Stderr
-	if *quiet {
-		progress = nil
-	}
 	names := make([]string, len(campaigns))
 	for i, c := range campaigns {
 		names[i] = c.Name
@@ -97,7 +87,7 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "sweep: %d nodes, %v per run, %d runs/cell, campaigns %v\n",
 		base.Nodes, base.SimTime, *runs, names)
 
-	tables, err := ic.CampaignSweep(base, campaigns, levels, *runs, progress)
+	tables, err := ic.CampaignSweep(base, campaigns, levels, *runs, cliutil.Progress(*quiet))
 	if err != nil {
 		return err
 	}
@@ -109,19 +99,6 @@ func run() error {
 	return nil
 }
 
-func splitCSV(s string) []string {
-	var out []string
-	for _, part := range strings.Split(s, ",") {
-		if part = strings.TrimSpace(part); part != "" {
-			out = append(out, part)
-		}
-	}
-	return out
-}
-
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "faultsweep:", err)
-		os.Exit(1)
-	}
+	cliutil.Main("faultsweep", run)
 }

@@ -12,11 +12,11 @@ import (
 	"encoding/hex"
 	"flag"
 	"fmt"
-	"os"
 	"strconv"
 	"strings"
 
 	ic "innercircle"
+	"innercircle/internal/cliutil"
 )
 
 func run() error {
@@ -121,8 +121,5 @@ func run() error {
 }
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "ickeys:", err)
-		os.Exit(1)
-	}
+	cliutil.Main("ickeys", run)
 }

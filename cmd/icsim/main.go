@@ -16,6 +16,7 @@ import (
 	"os"
 
 	ic "innercircle"
+	"innercircle/internal/cliutil"
 )
 
 func run() error {
@@ -86,8 +87,5 @@ func runTraced(cfg ic.BlackholeConfig, tr *ic.Tracer) (ic.BlackholeResult, error
 }
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "icsim:", err)
-		os.Exit(1)
-	}
+	cliutil.Main("icsim", run)
 }

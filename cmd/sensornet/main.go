@@ -15,26 +15,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
-	"runtime/pprof"
-	"strconv"
-	"strings"
 
 	ic "innercircle"
+	"innercircle/internal/cliutil"
 )
-
-func parseLevels(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			return nil, fmt.Errorf("bad level %q", part)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
 
 func run() error {
 	var (
@@ -50,19 +35,13 @@ func run() error {
 	)
 	flag.Parse()
 
-	if *cpuprof != "" {
-		f, err := os.Create(*cpuprof)
-		if err != nil {
-			return fmt.Errorf("cpuprofile: %w", err)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return fmt.Errorf("cpuprofile: %w", err)
-		}
-		defer pprof.StopCPUProfile()
+	stop, err := cliutil.StartCPUProfile(*cpuprof)
+	if err != nil {
+		return err
 	}
+	defer stop()
 
-	levels, err := parseLevels(*levelsArg)
+	levels, err := cliutil.ParseLevels(*levelsArg)
 	if err != nil {
 		return err
 	}
@@ -92,14 +71,10 @@ func run() error {
 		*runs = 2
 	}
 
-	var progress io.Writer = os.Stderr
-	if *quiet {
-		progress = nil
-	}
 	fmt.Fprintf(os.Stderr, "sweep: %d nodes, %v per run, %d runs/point, levels %v, K·T=%g\n",
 		base.Nodes, base.SimTime, *runs, levels, base.Model.KT)
 
-	tables, err := ic.SensorSweep(base, levels, faults, *runs, progress)
+	tables, err := ic.SensorSweep(base, levels, faults, *runs, cliutil.Progress(*quiet))
 	if err != nil {
 		return err
 	}
@@ -110,8 +85,5 @@ func run() error {
 }
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "sensornet:", err)
-		os.Exit(1)
-	}
+	cliutil.Main("sensornet", run)
 }

@@ -1,0 +1,77 @@
+// Package cliutil holds the flag/profile/progress plumbing shared by the
+// cmd/ tools, so each main.go is only its own flags plus one library call.
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+)
+
+// Main runs a tool body and turns its error into the conventional
+// "name: err" + exit(1) epilogue every cmd/ tool shares.
+func Main(name string, run func() error) {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, name+":", err)
+		os.Exit(1)
+	}
+}
+
+// StartCPUProfile begins a pprof CPU profile when path is non-empty and
+// returns a stop function (a no-op for an empty path) to defer.
+func StartCPUProfile(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// SplitCSV splits a comma-separated flag value, trimming whitespace and
+// dropping empty elements; an empty input yields nil.
+func SplitCSV(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// ParseLevels parses a comma-separated list of dependability levels.
+// Levels below 1 are rejected: L counts the extra confirming neighbors,
+// so 0 would silently mean "whatever the base config says".
+func ParseLevels(s string) ([]int, error) {
+	var out []int
+	for _, part := range SplitCSV(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad level %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Progress maps the shared -quiet flag onto the sweep progress writer:
+// stderr normally, nil (no per-run lines) when quiet.
+func Progress(quiet bool) io.Writer {
+	if quiet {
+		return nil
+	}
+	return os.Stderr
+}

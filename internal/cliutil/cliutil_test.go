@@ -1,0 +1,39 @@
+package cliutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSplitCSV(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{" , ,", nil},
+		{"a", []string{"a"}},
+		{"a, b ,c", []string{"a", "b", "c"}},
+		{",x,", []string{"x"}},
+	}
+	for _, tc := range cases {
+		if got := SplitCSV(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("SplitCSV(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseLevels(t *testing.T) {
+	got, err := ParseLevels("1, 2,7")
+	if err != nil {
+		t.Fatalf("ParseLevels: %v", err)
+	}
+	if !reflect.DeepEqual(got, []int{1, 2, 7}) {
+		t.Fatalf("ParseLevels = %v", got)
+	}
+	for _, bad := range []string{"x", "0", "-1", "2,zero"} {
+		if _, err := ParseLevels(bad); err == nil {
+			t.Errorf("ParseLevels(%q) accepted", bad)
+		}
+	}
+}

@@ -1,7 +1,8 @@
 // Package experiment contains the per-figure harnesses that regenerate the
-// paper's evaluation: workload generators, parameter sweeps, metric
-// collection, and the row printers behind every benchmark in
-// bench_test.go. See DESIGN.md §3 for the experiment index.
+// paper's evaluation. Each harness is a thin declarative scenario.Spec —
+// topology, stack, traffic program, adversary — handed to scenario.Run;
+// the sweeps fan replicas over the parallel pool (pool.go) and fold the
+// tables in enumeration order. See DESIGN.md §3 for the experiment index.
 package experiment
 
 import (
@@ -15,13 +16,14 @@ import (
 	"innercircle/internal/geo"
 	"innercircle/internal/link"
 	"innercircle/internal/mac"
-	"innercircle/internal/mobility"
 	"innercircle/internal/node"
 	"innercircle/internal/radio"
+	"innercircle/internal/scenario"
 	"innercircle/internal/sim"
 	"innercircle/internal/stats"
 	"innercircle/internal/sts"
 	"innercircle/internal/trace"
+	"innercircle/internal/traffic"
 	"innercircle/internal/vote"
 )
 
@@ -95,16 +97,91 @@ type BlackholeResult struct {
 	FaultsLeaked     uint64
 }
 
-// RunBlackhole executes one Fig. 7 simulation run.
-func RunBlackhole(cfg BlackholeConfig) (BlackholeResult, error) {
-	if cfg.Nodes < 4 {
-		return BlackholeResult{}, fmt.Errorf("experiment: need at least 4 nodes")
-	}
-	region := geo.Square(cfg.Region)
-	seedRNG := sim.NewRNG(cfg.Seed)
-	placeRNG := seedRNG.Split("placement")
-	positions := mobility.UniformPlacement(region, cfg.Nodes, placeRNG)
+// aodvRouting is the Fig. 7 routing component: one AODV router per node,
+// IC-adapted when the inner circle is on, delivering application payloads
+// into the scenario sink tally.
+type aodvRouting struct {
+	routers  []*aodv.Router
+	adapters []*aodv.ICAdapter
+}
 
+func newAODVRouting(n int) *aodvRouting {
+	if n < 0 {
+		n = 0
+	}
+	return &aodvRouting{
+		routers:  make([]*aodv.Router, n),
+		adapters: make([]*aodv.ICAdapter, n),
+	}
+}
+
+// Validate implements scenario.Validator: AODV route discovery needs a
+// minimum population to form multi-hop routes.
+func (rt *aodvRouting) Validate(s *scenario.Spec) error {
+	if s.Nodes < 4 {
+		return fmt.Errorf("experiment: need at least 4 nodes")
+	}
+	return nil
+}
+
+// Wire implements scenario.Wirer: publish the unicast send path for the
+// CBR program and the fault-campaign control surfaces.
+func (rt *aodvRouting) Wire(env *scenario.Env) {
+	env.SetUnicast(func(src, dst int, payload any, sizeBytes int) {
+		_ = rt.routers[src].Send(link.NodeID(dst), payload, sizeBytes)
+	})
+	env.SetRouterCtl(func(i int) faults.RouterCtl {
+		if rt.routers[i] == nil {
+			return nil
+		}
+		return rt.routers[i]
+	})
+	env.SetMutate(corruptPayload)
+}
+
+// build assembles node nd's router and hooks its delivery upcall into the
+// scenario sink.
+func (rt *aodvRouting) build(env *scenario.Env, nd *node.Node) *aodv.Router {
+	r, err := aodv.New(aodv.DefaultConfig(), aodv.Deps{
+		ID: nd.ID, K: nd.K, Link: nd.Link, RNG: nd.RNG.Split("aodv"),
+	})
+	if err != nil {
+		env.Fail(fmt.Errorf("aodv router %d: %w", nd.Index, err))
+		return nil
+	}
+	rt.routers[nd.Index] = r
+	sink := &env.Sink
+	r.OnDeliver(func(d aodv.Data) { sink.Deliver(d.Payload) })
+	nd.Handle(r.HandleEnv)
+	return r
+}
+
+// Register implements scenario.Registrar (IC mode): the router is built
+// inside node.Build's voting pass so the IC adapter's callbacks can be
+// handed to the voting service.
+func (rt *aodvRouting) Register(env *scenario.Env, nd *node.Node) vote.Callbacks {
+	r := rt.build(env, nd)
+	if r == nil {
+		return vote.Callbacks{}
+	}
+	adapter, cbs := aodv.NewICAdapter(nd.ID, r, nd.Intercept)
+	rt.adapters[nd.Index] = adapter
+	return cbs
+}
+
+// Attach implements scenario.Component: IC mode binds the adapter to the
+// now-built voting service; the No-IC baseline builds its router here.
+func (rt *aodvRouting) Attach(env *scenario.Env, nd *node.Node) {
+	if env.Spec.Stack.IC {
+		rt.adapters[nd.Index].Bind(nd.Vote)
+		nd.Intercept.SetVerifier(rt.adapters[nd.Index].Verifier())
+		return
+	}
+	rt.build(env, nd)
+}
+
+// blackholeSpec assembles the declarative Fig. 7 scenario.
+func blackholeSpec(cfg BlackholeConfig) *scenario.Spec {
 	stsCfg := sts.Config{}
 	voteCfg := vote.Config{}
 	if cfg.IC {
@@ -117,93 +194,40 @@ func RunBlackhole(cfg BlackholeConfig) (BlackholeResult, error) {
 		}
 		voteCfg = vote.Config{Mode: vote.Deterministic, L: cfg.L, RoundTimeout: 0.15, Retries: 2}
 	}
-
-	routers := make([]*aodv.Router, cfg.Nodes)
-	adapters := make([]*aodv.ICAdapter, cfg.Nodes)
-	received := 0
-	receivedCorrupt := 0
-
-	ncfg := node.Config{
-		N:      cfg.Nodes,
-		Seed:   cfg.Seed,
-		Radio:  radio.Default80211(),
-		MAC:    mac.Default80211(),
-		Energy: energy.NS2Default(),
-		Mobility: func(i int, rng *sim.RNG) mobility.Model {
-			return mobility.NewWaypoint(mobility.WaypointConfig{
-				Region:   region,
-				MinSpeed: cfg.Speed,
-				MaxSpeed: cfg.Speed,
-				Pause:    cfg.Pause,
-			}, positions[i], rng)
+	spec := &scenario.Spec{
+		Name:    "blackhole",
+		Nodes:   cfg.Nodes,
+		Seed:    cfg.Seed,
+		SimTime: cfg.SimTime,
+		Topology: scenario.RandomWaypoint{
+			Region:   geo.Square(cfg.Region),
+			MinSpeed: cfg.Speed,
+			MaxSpeed: cfg.Speed,
+			Pause:    cfg.Pause,
 		},
-		IC:           cfg.IC,
-		STS:          stsCfg,
-		Vote:         voteCfg,
-		MaxL:         max(2, cfg.L),
-		SigWireBytes: 128, // 1024-bit keys per the Fig. 7 box
-		Tracer:       cfg.Tracer,
+		Stack: scenario.Stack{
+			Radio:        radio.Default80211(),
+			MAC:          mac.Default80211(),
+			Energy:       energy.NS2Default(),
+			IC:           cfg.IC,
+			STS:          stsCfg,
+			Vote:         voteCfg,
+			MaxL:         max(2, cfg.L),
+			SigWireBytes: 128, // 1024-bit keys per the Fig. 7 box
+			Tracer:       cfg.Tracer,
+			Components:   []scenario.Component{newAODVRouting(cfg.Nodes)},
+		},
+		Traffic: &traffic.CBR{
+			Connections: cfg.Connections,
+			Rate:        cfg.Rate,
+			PacketBytes: cfg.PacketBytes,
+			From:        cfg.TrafficFrom,
+		},
 	}
-	buildRouter := func(nd *node.Node) *aodv.Router {
-		r, err := aodv.New(aodv.DefaultConfig(), aodv.Deps{
-			ID: nd.ID, K: nd.K, Link: nd.Link, RNG: nd.RNG.Split("aodv"),
-		})
-		if err != nil {
-			panic(err) // static config; cannot fail
-		}
-		routers[nd.Index] = r
-		r.OnDeliver(func(d aodv.Data) {
-			if s, ok := d.Payload.(string); ok && strings.HasPrefix(s, corruptMark) {
-				receivedCorrupt++ // a corrupt fault leaked through to the sink
-				return
-			}
-			received++
-		})
-		nd.Handle(r.HandleEnv)
-		return r
-	}
-	if cfg.IC {
-		ncfg.Callbacks = func(nd *node.Node) vote.Callbacks {
-			r := buildRouter(nd)
-			adapter, cbs := aodv.NewICAdapter(nd.ID, r, nd.Intercept)
-			adapters[nd.Index] = adapter
-			return cbs
-		}
-	}
-
-	net, err := node.Build(ncfg)
-	if err != nil {
-		return BlackholeResult{}, fmt.Errorf("experiment: build: %w", err)
-	}
-	if cfg.IC {
-		for i, nd := range net.Nodes {
-			adapters[i].Bind(nd.Vote)
-			nd.Intercept.SetVerifier(adapters[i].Verifier())
-		}
-	} else {
-		for _, nd := range net.Nodes {
-			buildRouter(nd)
-		}
-	}
-	// Traffic: pick connection endpoints, then attackers from the
-	// remaining population (a black hole that is itself an endpoint would
-	// trivially zero its own connection).
-	trafRNG := seedRNG.Split("traffic")
-	perm := trafRNG.Perm(cfg.Nodes)
-	if cfg.Connections*2+cfg.Malicious > cfg.Nodes {
-		return BlackholeResult{}, fmt.Errorf("experiment: %d nodes cannot host %d connections + %d attackers",
-			cfg.Nodes, cfg.Connections, cfg.Malicious)
-	}
-	type conn struct{ src, dst int }
-	conns := make([]conn, cfg.Connections)
-	for i := range conns {
-		conns[i] = conn{src: perm[2*i], dst: perm[2*i+1]}
-	}
-
 	// Adversary: an explicit campaign, or the legacy Malicious/GrayProb
 	// knobs routed through the equivalent preset. Either way the campaign
-	// draws Count-selected attackers from the permutation's tail, and
-	// gray-hole RNG streams split off the seed exactly as the hand-wired
+	// draws Count-selected attackers from the traffic permutation's tail,
+	// and fault RNG streams split off the seed exactly as the hand-wired
 	// code did, so the legacy path is reproduced bit for bit.
 	camp := cfg.Campaign
 	if camp == nil && cfg.Malicious > 0 {
@@ -215,87 +239,37 @@ func RunBlackhole(cfg BlackholeConfig) (BlackholeResult, error) {
 		}
 		camp = &c
 	}
-	var applied *faults.Applied
 	if camp != nil {
-		applied, err = faults.Apply(faults.Fabric{
-			K:     net.K,
-			RNG:   seedRNG,
-			N:     cfg.Nodes,
-			Order: perm[cfg.Connections*2:],
-			Link: func(i int) faults.LinkPort {
-				return net.Nodes[i].Link
-			},
-			Router: func(i int) faults.RouterCtl {
-				if routers[i] == nil {
-					return nil
-				}
-				return routers[i]
-			},
-			Vote: func(i int) faults.VoteCtl {
-				if net.Nodes[i].Vote == nil {
-					return nil
-				}
-				return net.Nodes[i].Vote
-			},
-			Mutate: corruptPayload,
-		}, camp)
-		if err != nil {
-			return BlackholeResult{}, fmt.Errorf("experiment: %w", err)
-		}
+		spec.Adversary = scenario.CampaignAdversary{Campaign: camp}
 	}
+	return spec
+}
 
-	net.StartSTS()
-
-	// CBR generators.
-	sent := 0
-	interval := sim.Duration(1 / cfg.Rate)
-	for ci, c := range conns {
-		c := c
-		start := cfg.TrafficFrom + trafRNG.Jitter(interval)
-		var tick func()
-		seq := 0
-		tick = func() {
-			if net.K.Now() >= cfg.SimTime {
-				return
-			}
-			sent++
-			seq++
-			_ = routers[c.src].Send(link.NodeID(c.dst), fmt.Sprintf("c%d-%d", ci, seq), cfg.PacketBytes)
-			net.K.MustSchedule(interval, tick)
-		}
-		net.K.MustSchedule(start, tick)
+// RunBlackhole executes one Fig. 7 simulation run.
+func RunBlackhole(cfg BlackholeConfig) (BlackholeResult, error) {
+	spec := blackholeSpec(cfg)
+	res, err := scenario.Run(spec)
+	if err != nil {
+		return BlackholeResult{}, fmt.Errorf("experiment: %w", err)
 	}
-
-	if err := net.Run(cfg.SimTime); err != nil {
-		return BlackholeResult{}, fmt.Errorf("experiment: run: %w", err)
+	out := BlackholeResult{
+		Sent:            int(res.Counter(scenario.CtrSent)),
+		Received:        int(res.Counter(scenario.CtrReceived)),
+		ReceivedCorrupt: int(res.Counter(scenario.CtrReceivedCorrupt)),
+		Throughput:      res.Gauge(scenario.GaugeThroughputPct),
+		EnergyPerNode:   res.Gauge(scenario.GaugeEnergyPerNodeJ),
 	}
-
-	res := BlackholeResult{Sent: sent, Received: received, ReceivedCorrupt: receivedCorrupt}
-	if sent > 0 {
-		res.Throughput = 100 * float64(received) / float64(sent)
+	if spec.Adversary != nil {
+		out.FaultsInjected = res.Counter(scenario.CtrFaultsInjected)
+		out.FaultsSuppressed = res.Counter(scenario.CtrFaultsSuppressed)
+		out.FaultsLeaked = res.Counter(scenario.CtrFaultsLeaked)
 	}
-	res.EnergyPerNode = net.TotalEnergy() / float64(cfg.Nodes)
-	if applied != nil {
-		res.FaultsInjected = applied.Report().TotalInjected()
-		res.FaultsLeaked = uint64(receivedCorrupt)
-		for _, nd := range net.Nodes {
-			if nd.Intercept != nil {
-				res.FaultsSuppressed += nd.Intercept.Stats.SuppressedSuspect + nd.Intercept.Stats.SuppressedBadSig
-			}
-			if nd.STS != nil {
-				res.FaultsSuppressed += nd.STS.Stats.BeaconsRejected
-			}
-			if nd.Vote != nil {
-				res.FaultsSuppressed += nd.Vote.Stats.PartialsRejected + nd.Vote.Stats.AgreedInvalid
-			}
-		}
-	}
-	return res, nil
+	return out, nil
 }
 
 // corruptMark prefixes CBR payloads mangled by a corrupt fault, so the
 // sink can tell leaked corruption from intact delivery.
-const corruptMark = "\x00corrupt\x00"
+const corruptMark = scenario.CorruptMark
 
 // corruptPayload is the campaign fabric's Mutate hook: it extends the
 // corrupt fault to AODV data payloads (the faults package itself only
@@ -329,24 +303,8 @@ func BlackholeSweep(base BlackholeConfig, maliciousCounts []int, levels []int, r
 	throughput = stats.NewTable("Fig. 7(a) Network throughput [%]", "config \\ #malicious")
 	energyTbl = stats.NewTable("Fig. 7(b) Energy consumption [J/node]", "config \\ #malicious")
 
-	type rowSpec struct {
-		label string
-		ic    bool
-		level int
-	}
-	rows := []rowSpec{{label: "No IC"}}
-	for _, l := range levels {
-		rows = append(rows, rowSpec{label: fmt.Sprintf("IC, L=%d", l), ic: true, level: l})
-	}
-
-	// Enumerate every (config row × malicious count × run) replica up
-	// front; cell remembers where each job's result belongs.
-	type cell struct {
-		row, col string
-	}
-	var jobs []Job
-	var cells []cell
-	for _, row := range rows {
+	var points []GridPoint[BlackholeConfig]
+	for _, row := range configRows(levels) {
 		for _, m := range maliciousCounts {
 			for run := 0; run < runs; run++ {
 				cfg := base
@@ -357,33 +315,25 @@ func BlackholeSweep(base BlackholeConfig, maliciousCounts []int, levels []int, r
 				}
 				cfg.Malicious = m
 				cfg.Seed = base.Seed + int64(1000*m+run)
-				jobs = append(jobs, Job{
-					Index: len(jobs),
-					Label: fmt.Sprintf("%s malicious=%d run=%d", row.label, m, run),
-					Run: func() (any, error) {
-						res, err := RunBlackhole(cfg)
-						if err != nil {
-							return nil, err
-						}
-						return res, nil
-					},
+				points = append(points, GridPoint[BlackholeConfig]{
+					Label:  fmt.Sprintf("%s malicious=%d run=%d", row.label, m, run),
+					Row:    row.label,
+					Col:    fmt.Sprintf("%d", m),
+					Config: cfg,
 				})
-				cells = append(cells, cell{row: row.label, col: fmt.Sprintf("%d", m)})
 			}
 		}
 	}
-
-	results, err := RunJobs(jobs, 0, progressWriter(progress, func(j Job, result any) string {
-		res := result.(BlackholeResult)
-		return fmt.Sprintf("%s: throughput=%.1f%% energy=%.2f J\n", j.Label, res.Throughput, res.EnergyPerNode)
-	}))
+	err = SweepGrid(points, RunBlackhole, progress,
+		func(label string, res BlackholeResult) string {
+			return fmt.Sprintf("%s: throughput=%.1f%% energy=%.2f J\n", label, res.Throughput, res.EnergyPerNode)
+		},
+		func(row, col string, res BlackholeResult) {
+			throughput.Add(row, col, res.Throughput)
+			energyTbl.Add(row, col, res.EnergyPerNode)
+		})
 	if err != nil {
 		return nil, nil, err
-	}
-	for i, r := range results {
-		res := r.(BlackholeResult)
-		throughput.Add(cells[i].row, cells[i].col, res.Throughput)
-		energyTbl.Add(cells[i].row, cells[i].col, res.EnergyPerNode)
 	}
 	return throughput, energyTbl, nil
 }

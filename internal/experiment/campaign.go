@@ -48,22 +48,8 @@ func CampaignSweep(base BlackholeConfig, campaigns []faults.Campaign, levels []i
 		Leaked:     stats.NewTable("Campaign sweep: corrupted payloads leaked [#/run]", "config \\ campaign"),
 	}
 
-	type rowSpec struct {
-		label string
-		ic    bool
-		level int
-	}
-	rows := []rowSpec{{label: "No IC"}}
-	for _, l := range levels {
-		rows = append(rows, rowSpec{label: fmt.Sprintf("IC, L=%d", l), ic: true, level: l})
-	}
-
-	type cell struct {
-		row, col string
-	}
-	var jobs []Job
-	var cells []cell
-	for _, row := range rows {
+	var points []GridPoint[BlackholeConfig]
+	for _, row := range configRows(levels) {
 		for ci := range campaigns {
 			for run := 0; run < runs; run++ {
 				cfg := base
@@ -76,37 +62,29 @@ func CampaignSweep(base BlackholeConfig, campaigns []faults.Campaign, levels []i
 				cfg.GrayProb = 0
 				cfg.Campaign = &campaigns[ci]
 				cfg.Seed = base.Seed + int64(1000*ci+run)
-				jobs = append(jobs, Job{
-					Index: len(jobs),
-					Label: fmt.Sprintf("%s campaign=%s run=%d", row.label, campaigns[ci].Name, run),
-					Run: func() (any, error) {
-						res, err := RunBlackhole(cfg)
-						if err != nil {
-							return nil, err
-						}
-						return res, nil
-					},
+				points = append(points, GridPoint[BlackholeConfig]{
+					Label:  fmt.Sprintf("%s campaign=%s run=%d", row.label, campaigns[ci].Name, run),
+					Row:    row.label,
+					Col:    campaigns[ci].Name,
+					Config: cfg,
 				})
-				cells = append(cells, cell{row: row.label, col: campaigns[ci].Name})
 			}
 		}
 	}
-
-	results, err := RunJobs(jobs, 0, progressWriter(progress, func(j Job, result any) string {
-		res := result.(BlackholeResult)
-		return fmt.Sprintf("%s: throughput=%.1f%% injected=%d suppressed=%d leaked=%d\n",
-			j.Label, res.Throughput, res.FaultsInjected, res.FaultsSuppressed, res.FaultsLeaked)
-	}))
+	err := SweepGrid(points, RunBlackhole, progress,
+		func(label string, res BlackholeResult) string {
+			return fmt.Sprintf("%s: throughput=%.1f%% injected=%d suppressed=%d leaked=%d\n",
+				label, res.Throughput, res.FaultsInjected, res.FaultsSuppressed, res.FaultsLeaked)
+		},
+		func(row, col string, res BlackholeResult) {
+			t.Throughput.Add(row, col, res.Throughput)
+			t.Energy.Add(row, col, res.EnergyPerNode)
+			t.Injected.Add(row, col, float64(res.FaultsInjected))
+			t.Suppressed.Add(row, col, float64(res.FaultsSuppressed))
+			t.Leaked.Add(row, col, float64(res.FaultsLeaked))
+		})
 	if err != nil {
 		return nil, err
-	}
-	for i, r := range results {
-		res := r.(BlackholeResult)
-		t.Throughput.Add(cells[i].row, cells[i].col, res.Throughput)
-		t.Energy.Add(cells[i].row, cells[i].col, res.EnergyPerNode)
-		t.Injected.Add(cells[i].row, cells[i].col, float64(res.FaultsInjected))
-		t.Suppressed.Add(cells[i].row, cells[i].col, float64(res.FaultsSuppressed))
-		t.Leaked.Add(cells[i].row, cells[i].col, float64(res.FaultsLeaked))
 	}
 	return t, nil
 }

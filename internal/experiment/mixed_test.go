@@ -1,0 +1,30 @@
+package experiment
+
+import (
+	"testing"
+
+	"innercircle/internal/scenario"
+)
+
+// Smoke test for the demo Spec: it runs, carries traffic, injects both
+// fault classes, and is deterministic for a fixed seed.
+func TestRunMixedSmoke(t *testing.T) {
+	run := func() *scenario.Result {
+		res, err := RunMixed(30, 7, 60)
+		if err != nil {
+			t.Fatalf("RunMixed: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Counter(scenario.CtrSent) == 0 {
+		t.Fatal("no traffic sent")
+	}
+	if a.Counter(scenario.CtrFaultsInjected) == 0 {
+		t.Fatal("composite campaign injected nothing")
+	}
+	if a.Counters.String() != b.Counters.String() || a.Gauges.String() != b.Gauges.String() {
+		t.Fatalf("same seed diverged:\n%s | %s\nvs\n%s | %s",
+			a.Counters, a.Gauges, b.Counters, b.Gauges)
+	}
+}

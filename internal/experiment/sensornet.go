@@ -11,13 +11,14 @@ import (
 	"innercircle/internal/geo"
 	"innercircle/internal/link"
 	"innercircle/internal/mac"
-	"innercircle/internal/mobility"
 	"innercircle/internal/node"
 	"innercircle/internal/radio"
+	"innercircle/internal/scenario"
 	"innercircle/internal/sensor"
 	"innercircle/internal/sim"
 	"innercircle/internal/stats"
 	"innercircle/internal/sts"
+	"innercircle/internal/traffic"
 	"innercircle/internal/vote"
 
 	"innercircle/internal/crypto/nsl"
@@ -101,6 +102,18 @@ type SensorResult struct {
 	Notifications    int     // total notifications the base accepted
 }
 
+// Sensor-scenario metric names (on top of the runner's uniform set).
+const (
+	ctrTargets       = "targets"
+	ctrMissed        = "missed"
+	ctrNotifications = "notifications"
+	gaugeMissAlarm   = "miss_alarm"
+	gaugeFalseAlarm  = "false_alarm_pct"
+	gaugeLatency     = "detection_latency_s"
+	gaugeLocErr      = "localization_err_m"
+	gaugeTrafficE    = "traffic_energy_j"
+)
+
 // notifMsg wraps an encoded notification for transport (the centralized
 // solution's raw report).
 type notifMsg struct {
@@ -158,45 +171,277 @@ type sensorApp struct {
 	propose *sim.Timer
 }
 
-// RunSensor executes one Fig. 8 simulation run.
-func RunSensor(cfg SensorConfig) (SensorResult, error) {
-	if cfg.Nodes < 10 {
-		return SensorResult{}, fmt.Errorf("experiment: need at least 10 nodes")
-	}
-	region := geo.Square(cfg.Region)
-	seedRNG := sim.NewRNG(cfg.Seed)
+// sensorNet is the Fig. 8 scenario component: sensing devices and
+// directed-diffusion dissemination per node, base-station bookkeeping at
+// node 0, and the epoch-driven sensing application.
+type sensorNet struct {
+	cfg       SensorConfig
+	fuse      func(center link.NodeID, values [][]byte) []byte
+	targets   []sensor.Target
+	apps      []*sensorApp
+	baseDiff  *diffusion.Service
+	notifs    []baseNotif
+	perTarget map[int][]baseNotif
+}
 
-	// Placement: base at the centre, sensors on a jittered grid (or
-	// scattered uniformly).
-	positions := make([]geo.Point, cfg.Nodes)
-	positions[0] = region.Center()
-	var sensorsPos []geo.Point
-	if cfg.UniformPlacement {
-		sensorsPos = mobility.UniformPlacement(region, cfg.Nodes-1, seedRNG.Split("placement"))
-	} else {
-		sensorsPos = mobility.GridPlacement(region, cfg.Nodes-1, cfg.Region/50, seedRNG.Split("placement"))
+func newSensorNet(cfg SensorConfig) *sensorNet {
+	n := cfg.Nodes
+	if n < 0 {
+		n = 0
 	}
-	copy(positions[1:], sensorsPos)
+	return &sensorNet{
+		cfg:       cfg,
+		fuse:      makeSensorFuse(cfg),
+		apps:      make([]*sensorApp, n),
+		perTarget: make(map[int][]baseNotif),
+	}
+}
 
-	// Targets. Onset is uniformly random within a sensing period, so the
-	// first post-onset sensing epoch lags the target by U(0, SensePeriod)
-	// — the sampling-phase component of detection latency.
-	var targets []sensor.Target
-	if !cfg.NoTarget {
-		tgtRNG := seedRNG.Split("targets")
-		for start := cfg.TargetStart; start+cfg.TargetDuration <= cfg.SimTime; start += cfg.TargetPeriod {
-			onset := start + tgtRNG.Jitter(cfg.SensePeriod)
-			targets = append(targets, sensor.Target{
-				Pos: geo.Point{
-					X: tgtRNG.Uniform(0.2*cfg.Region, 0.8*cfg.Region),
-					Y: tgtRNG.Uniform(0.2*cfg.Region, 0.8*cfg.Region),
-				},
-				Start: onset,
-				End:   onset + cfg.TargetDuration,
-			})
+// Validate implements scenario.Validator: the population floor and the
+// parameter gaps that would wedge the run (a non-positive sense period
+// stalls the epoch chain; a non-positive target period loops target
+// generation forever).
+func (sc *sensorNet) Validate(s *scenario.Spec) error {
+	if s.Nodes < 10 {
+		return fmt.Errorf("experiment: need at least 10 nodes")
+	}
+	c := &sc.cfg
+	if c.Region <= 0 || c.Range <= 0 {
+		return fmt.Errorf("experiment: sensor scenario needs positive region and radio range")
+	}
+	if c.SensePeriod <= 0 {
+		return fmt.Errorf("experiment: sensor scenario needs positive sense period")
+	}
+	if !c.NoTarget && c.TargetPeriod <= 0 {
+		return fmt.Errorf("experiment: sensor scenario needs positive target period")
+	}
+	return nil
+}
+
+// Wire implements scenario.Wirer: draw the target schedule. Onset is
+// uniformly random within a sensing period, so the first post-onset
+// sensing epoch lags the target by U(0, SensePeriod) — the sampling-phase
+// component of detection latency.
+func (sc *sensorNet) Wire(env *scenario.Env) {
+	c := &sc.cfg
+	if c.NoTarget {
+		return
+	}
+	tgtRNG := env.SeedStream("targets")
+	for start := c.TargetStart; start+c.TargetDuration <= c.SimTime; start += c.TargetPeriod {
+		onset := start + tgtRNG.Jitter(c.SensePeriod)
+		sc.targets = append(sc.targets, sensor.Target{
+			Pos: geo.Point{
+				X: tgtRNG.Uniform(0.2*c.Region, 0.8*c.Region),
+				Y: tgtRNG.Uniform(0.2*c.Region, 0.8*c.Region),
+			},
+			Start: onset,
+			End:   onset + c.TargetDuration,
+		})
+	}
+}
+
+// Register implements scenario.Registrar (IC mode): the app is created in
+// node.Build's voting pass so its hooks become the vote callbacks.
+func (sc *sensorNet) Register(_ *scenario.Env, nd *node.Node) vote.Callbacks {
+	app := &sensorApp{nd: nd, cfg: &sc.cfg, covered: make(map[int64]bool)}
+	sc.apps[nd.Index] = app
+	return vote.Callbacks{
+		LocalValue: app.localValue,
+		Fuse:       sc.fuse,
+		OnAgreed:   app.onAgreed,
+	}
+}
+
+// Attach implements scenario.Component: diffusion dissemination on every
+// node — exploratory-flood (classic directed diffusion's first phase)
+// over an unacknowledged broadcast MAC; both configurations use the same
+// substrate, the inner-circle solution simply injects far fewer messages
+// into it — plus the sensing device (sensors) or sink bookkeeping (base).
+func (sc *sensorNet) Attach(env *scenario.Env, nd *node.Node) {
+	diffCfg := diffusion.Config{InterestPeriod: 20, GradientTimeout: 60, Unreliable: true, FloodData: true}
+	ds, err := diffusion.New(diffCfg, diffusion.Deps{
+		ID: nd.ID, K: nd.K, Link: nd.Link, RNG: nd.RNG.Split("diffusion"),
+	})
+	if err != nil {
+		env.Fail(err)
+		return
+	}
+	nd.Handle(ds.HandleEnv)
+	i := nd.Index
+	if sc.apps[i] == nil { // No-IC path (IC callbacks already made one)
+		sc.apps[i] = &sensorApp{nd: nd, cfg: &sc.cfg, covered: make(map[int64]bool)}
+	}
+	sc.apps[i].diff = ds
+	if i == 0 {
+		ds.SetSink(true)
+		sc.baseDiff = ds
+		sc.attachBase(env, nd, ds)
+		return
+	}
+	sc.apps[i].dev = sensor.NewDevice(sc.cfg.Model, env.Positions[i], sc.cfg.Lambda, nd.RNG.Split("sensor"))
+}
+
+// attachBase hooks the base station's delivery upcall: decode, verify in
+// IC mode, classify against the target schedule, record.
+func (sc *sensorNet) attachBase(env *scenario.Env, baseNode *node.Node, ds *diffusion.Service) {
+	c := &sc.cfg
+	ds.OnDeliver(func(src link.NodeID, hops int, payload link.Message) {
+		now := env.K().Now()
+		var n sensor.Notification
+		switch m := payload.(type) {
+		case notifMsg:
+			if c.IC {
+				return // raw notifications are not accepted in IC mode
+			}
+			d, err := sensor.DecodeNotification(m.Data)
+			if err != nil {
+				return
+			}
+			n = d
+		case agreedWrap:
+			if !c.IC {
+				return
+			}
+			if baseNode.Vote.VerifyAgreed(m.M) != nil {
+				return // remote signature check failed
+			}
+			d, err := sensor.DecodeNotification(m.M.Value)
+			if err != nil {
+				return
+			}
+			n = d
+		default:
+			return
+		}
+		bn := baseNotif{at: now, notif: n, target: sc.classify(now)}
+		sc.notifs = append(sc.notifs, bn)
+		if bn.target >= 0 {
+			sc.perTarget[bn.target] = append(sc.perTarget[bn.target], bn)
+		}
+	})
+}
+
+// classify returns the target index whose window (plus in-flight slack)
+// covers at, or -1 for a spurious notification.
+func (sc *sensorNet) classify(at sim.Time) int {
+	const slack = 5
+	for ti, tg := range sc.targets {
+		if at >= tg.Start && at < tg.End+slack {
+			return ti
 		}
 	}
+	return -1
+}
 
+// activeTarget returns the position of the target active at time at, or
+// nil.
+func (sc *sensorNet) activeTarget(at sim.Time) *geo.Point {
+	for _, tg := range sc.targets {
+		if tg.ActiveAt(at) {
+			return &tg.Pos
+		}
+	}
+	return nil
+}
+
+// Start implements scenario.Starter: bring up the base station's interest
+// flooding shortly after t=0.
+func (sc *sensorNet) Start(env *scenario.Env) {
+	env.K().MustSchedule(0.1, func() { sc.baseDiff.Start() })
+}
+
+// onEpoch runs one synchronized sensing epoch across all sensors (the
+// traffic program's epoch trigger).
+func (sc *sensorNet) onEpoch(epoch int64, now sim.Time) {
+	tpos := sc.activeTarget(now)
+	for i := 1; i < len(sc.apps); i++ {
+		sc.apps[i].sense(epoch, tpos)
+	}
+}
+
+// Harvest implements scenario.Harvester: fold the base station's log into
+// the paper's Fig. 8 metrics.
+func (sc *sensorNet) Harvest(env *scenario.Env, res *scenario.Result) {
+	c := &sc.cfg
+	res.Counters.Add(ctrTargets, uint64(len(sc.targets)))
+	var latSum, locSum float64
+	detected, missed := 0, 0
+	for ti, tg := range sc.targets {
+		ns := sc.perTarget[ti]
+		if len(ns) == 0 {
+			missed++
+			continue
+		}
+		detected++
+		latSum += float64(ns[0].at - tg.Start)
+		var pts []geo.Point
+		for _, bn := range ns {
+			pts = append(pts, bn.notif.Pos)
+		}
+		locSum += geo.Centroid(pts).Dist(tg.Pos)
+	}
+	res.Counters.Add(ctrMissed, uint64(missed))
+	res.Counters.Add(ctrNotifications, uint64(len(sc.notifs)))
+	if len(sc.targets) > 0 {
+		res.Gauges.Set(gaugeMissAlarm, float64(missed)/float64(len(sc.targets)))
+	}
+	if detected > 0 {
+		res.Gauges.Set(gaugeLatency, latSum/float64(detected))
+		res.Gauges.Set(gaugeLocErr, locSum/float64(detected))
+	}
+	spurious := 0
+	for _, bn := range sc.notifs {
+		if bn.target < 0 {
+			spurious++
+		}
+	}
+	// Per sensor-epoch false alarm probability (percent): spurious
+	// notifications accepted at the base over sensor-epochs without an
+	// active target.
+	noTargetEpochs := 0
+	for e := int64(1); ; e++ {
+		at := sim.Time(e) * c.SensePeriod
+		if at >= c.SimTime {
+			break
+		}
+		if sc.activeTarget(at) == nil {
+			noTargetEpochs++
+		}
+	}
+	if noTargetEpochs > 0 {
+		res.Gauges.Set(gaugeFalseAlarm, 100*float64(spurious)/float64(noTargetEpochs*(env.Spec.Nodes-1)))
+	}
+	res.Gauges.Set(gaugeTrafficE,
+		res.Gauges.Get(scenario.GaugeEnergyPerNodeJ)-energy.NS2Default().IdlePower*float64(c.SimTime))
+}
+
+// deviceFaults is the Fig. 8 adversary: Faulty sensing devices (chosen
+// among indices 1..Nodes-1 from the "faults" stream) injected with the
+// configured measurement fault.
+type deviceFaults struct {
+	sc *sensorNet
+}
+
+// Budget implements scenario.Adversary: device faults claim no
+// attacker-order nodes (they corrupt measurements, not the population the
+// traffic program reserves).
+func (d deviceFaults) Budget(int) (int, error) { return 0, nil }
+
+// Apply implements scenario.Adversary.
+func (d deviceFaults) Apply(env *scenario.Env, _ []int) (scenario.Harvester, error) {
+	c := &d.sc.cfg
+	faultRNG := env.SeedStream("faults")
+	perm := faultRNG.Perm(env.Spec.Nodes - 1)
+	region := geo.Square(c.Region)
+	for i := 0; i < c.Faulty && i < len(perm); i++ {
+		d.sc.apps[perm[i]+1].dev.InjectFault(c.Fault, c.FaultParams, region)
+	}
+	return nil, nil
+}
+
+// sensorSpec assembles the declarative Fig. 8 scenario.
+func sensorSpec(cfg SensorConfig) (*scenario.Spec, error) {
 	stsCfg := sts.Config{}
 	voteCfg := vote.Config{}
 	var keys []*nsl.KeyPair
@@ -212,224 +457,64 @@ func RunSensor(cfg SensorConfig) (SensorResult, error) {
 		var err error
 		keys, err = cachedSensorKeys(cfg.Nodes)
 		if err != nil {
-			return SensorResult{}, err
+			return nil, err
 		}
 	}
-
-	apps := make([]*sensorApp, cfg.Nodes)
-	fuseFn := makeSensorFuse(cfg)
-
-	ncfg := node.Config{
-		N:      cfg.Nodes,
-		Seed:   cfg.Seed,
-		Radio:  radio.Params{Range: cfg.Range, Bitrate: 2e6, PropSpeed: 3e8},
-		MAC:    mac.Default80211(),
-		Energy: energy.NS2Default(),
-		Mobility: func(i int, _ *sim.RNG) mobility.Model {
-			return mobility.Static(positions[i])
+	sc := newSensorNet(cfg)
+	spec := &scenario.Spec{
+		Name:    "sensornet",
+		Nodes:   cfg.Nodes,
+		Seed:    cfg.Seed,
+		SimTime: cfg.SimTime,
+		Topology: scenario.BaseStationGrid{
+			Region:     geo.Square(cfg.Region),
+			GridJitter: cfg.Region / 50,
+			Uniform:    cfg.UniformPlacement,
 		},
-		IC:           cfg.IC,
-		STS:          stsCfg,
-		Vote:         voteCfg,
-		MaxL:         max(cfg.L, 2),
-		Keys:         keys,
-		SigWireBytes: 64, // 512-bit keys per the Fig. 8 box
+		Stack: scenario.Stack{
+			Radio:        radio.Params{Range: cfg.Range, Bitrate: 2e6, PropSpeed: 3e8},
+			MAC:          mac.Default80211(),
+			Energy:       energy.NS2Default(),
+			IC:           cfg.IC,
+			STS:          stsCfg,
+			Vote:         voteCfg,
+			MaxL:         max(cfg.L, 2),
+			Keys:         keys,
+			SigWireBytes: 64, // 512-bit keys per the Fig. 8 box
+			// STS starts are jittered to avoid a synchronized beacon
+			// collision storm at t=0.
+			STSStart:   scenario.STSStart{Jitter: 2},
+			Components: []scenario.Component{sc},
+		},
+		Traffic: &traffic.Epochs{Period: cfg.SensePeriod, OnEpoch: sc.onEpoch},
 	}
-	if cfg.IC {
-		ncfg.Callbacks = func(nd *node.Node) vote.Callbacks {
-			app := &sensorApp{nd: nd, cfg: &cfg, covered: make(map[int64]bool)}
-			apps[nd.Index] = app
-			return vote.Callbacks{
-				LocalValue: app.localValue,
-				Fuse:       fuseFn,
-				OnAgreed:   app.onAgreed,
-			}
-		}
-	}
-	net, err := node.Build(ncfg)
-	if err != nil {
-		return SensorResult{}, fmt.Errorf("experiment: build: %w", err)
-	}
-
-	// Diffusion + sensing devices.
-	// Exploratory-flood data dissemination (classic directed diffusion's
-	// first phase) over an unacknowledged broadcast MAC: both
-	// configurations use the same substrate; the inner-circle solution
-	// simply injects far fewer messages into it.
-	diffCfg := diffusion.Config{InterestPeriod: 20, GradientTimeout: 60, Unreliable: true, FloodData: true}
-	base := struct {
-		notifs    []baseNotif
-		perTarget map[int][]baseNotif
-	}{perTarget: make(map[int][]baseNotif)}
-
-	for i, nd := range net.Nodes {
-		ds, err := diffusion.New(diffCfg, diffusion.Deps{
-			ID: nd.ID, K: nd.K, Link: nd.Link, RNG: nd.RNG.Split("diffusion"),
-		})
-		if err != nil {
-			return SensorResult{}, err
-		}
-		nd.Handle(ds.HandleEnv)
-		if apps[i] == nil { // No-IC path (IC callbacks already made one)
-			apps[i] = &sensorApp{nd: nd, cfg: &cfg, covered: make(map[int64]bool)}
-		}
-		apps[i].diff = ds
-		if i == 0 {
-			ds.SetSink(true)
-		} else {
-			apps[i].dev = sensor.NewDevice(cfg.Model, positions[i], cfg.Lambda, nd.RNG.Split("sensor"))
-		}
-	}
-
-	// Fault injection: Faulty sensors chosen among indices 1..Nodes-1.
-	faultRNG := seedRNG.Split("faults")
 	if cfg.Fault != sensor.FaultNone {
-		perm := faultRNG.Perm(cfg.Nodes - 1)
-		for i := 0; i < cfg.Faulty && i < len(perm); i++ {
-			apps[perm[i]+1].dev.InjectFault(cfg.Fault, cfg.FaultParams, region)
-		}
+		spec.Adversary = deviceFaults{sc: sc}
 	}
+	return spec, nil
+}
 
-	// Base-station bookkeeping.
-	classify := func(at sim.Time) int {
-		// Returns the target index whose window (plus in-flight slack)
-		// covers at, or -1 for a spurious notification.
-		const slack = 5
-		for ti, tg := range targets {
-			if at >= tg.Start && at < tg.End+slack {
-				return ti
-			}
-		}
-		return -1
+// RunSensor executes one Fig. 8 simulation run.
+func RunSensor(cfg SensorConfig) (SensorResult, error) {
+	spec, err := sensorSpec(cfg)
+	if err != nil {
+		return SensorResult{}, err
 	}
-	baseNode := net.Nodes[0]
-	baseDiff := apps[0].diff
-	baseDiff.OnDeliver(func(src link.NodeID, hops int, payload link.Message) {
-		now := net.K.Now()
-		var n sensor.Notification
-		switch m := payload.(type) {
-		case notifMsg:
-			if cfg.IC {
-				return // raw notifications are not accepted in IC mode
-			}
-			d, err := sensor.DecodeNotification(m.Data)
-			if err != nil {
-				return
-			}
-			n = d
-		case agreedWrap:
-			if !cfg.IC {
-				return
-			}
-			if baseNode.Vote.VerifyAgreed(m.M) != nil {
-				return // remote signature check failed
-			}
-			d, err := sensor.DecodeNotification(m.M.Value)
-			if err != nil {
-				return
-			}
-			n = d
-		default:
-			return
-		}
-		bn := baseNotif{at: now, notif: n, target: classify(now)}
-		base.notifs = append(base.notifs, bn)
-		if bn.target >= 0 {
-			base.perTarget[bn.target] = append(base.perTarget[bn.target], bn)
-		}
-	})
-
-	// Start services. STS starts are jittered to avoid a synchronized
-	// beacon collision storm at t=0.
-	startRNG := seedRNG.Split("starts")
-	for _, nd := range net.Nodes {
-		if nd.STS != nil {
-			svc := nd.STS
-			net.K.MustSchedule(startRNG.Jitter(2), svc.Start)
-		}
+	res, err := scenario.Run(spec)
+	if err != nil {
+		return SensorResult{}, fmt.Errorf("experiment: %w", err)
 	}
-	net.K.MustSchedule(0.1, func() { baseDiff.Start() })
-
-	// Sensing epochs: synchronized at multiples of SensePeriod (duty-
-	// cycled network).
-	activeTarget := func(at sim.Time) *geo.Point {
-		for _, tg := range targets {
-			if tg.ActiveAt(at) {
-				return &tg.Pos
-			}
-		}
-		return nil
-	}
-	var epochFn func()
-	epochIdx := int64(0)
-	epochFn = func() {
-		now := net.K.Now()
-		if now >= cfg.SimTime {
-			return
-		}
-		epochIdx++
-		tpos := activeTarget(now)
-		for i := 1; i < cfg.Nodes; i++ {
-			apps[i].sense(epochIdx, tpos)
-		}
-		net.K.MustSchedule(cfg.SensePeriod, epochFn)
-	}
-	net.K.MustSchedule(cfg.SensePeriod, epochFn)
-
-	if err := net.Run(cfg.SimTime); err != nil {
-		return SensorResult{}, fmt.Errorf("experiment: run: %w", err)
-	}
-
-	// Metrics.
-	res := SensorResult{Targets: len(targets), Notifications: len(base.notifs)}
-	var latSum, locSum float64
-	detected := 0
-	for ti, tg := range targets {
-		ns := base.perTarget[ti]
-		if len(ns) == 0 {
-			res.Missed++
-			continue
-		}
-		detected++
-		latSum += float64(ns[0].at - tg.Start)
-		var pts []geo.Point
-		for _, bn := range ns {
-			pts = append(pts, bn.notif.Pos)
-		}
-		locSum += geo.Centroid(pts).Dist(tg.Pos)
-	}
-	if len(targets) > 0 {
-		res.MissAlarm = float64(res.Missed) / float64(len(targets))
-	}
-	if detected > 0 {
-		res.DetectionLatency = latSum / float64(detected)
-		res.LocalizationErr = locSum / float64(detected)
-	}
-	spurious := 0
-	for _, bn := range base.notifs {
-		if bn.target < 0 {
-			spurious++
-		}
-	}
-	// Per sensor-epoch false alarm probability (percent): spurious
-	// notifications accepted at the base over sensor-epochs without an
-	// active target.
-	noTargetEpochs := 0
-	for e := int64(1); ; e++ {
-		at := sim.Time(e) * cfg.SensePeriod
-		if at >= cfg.SimTime {
-			break
-		}
-		if activeTarget(at) == nil {
-			noTargetEpochs++
-		}
-	}
-	if noTargetEpochs > 0 {
-		res.FalseAlarmProb = 100 * float64(spurious) / float64(noTargetEpochs*(cfg.Nodes-1))
-	}
-	res.EnergyPerNode = net.TotalEnergy() / float64(cfg.Nodes)
-	res.TrafficEnergy = res.EnergyPerNode - energy.NS2Default().IdlePower*float64(cfg.SimTime)
-	return res, nil
+	return SensorResult{
+		Targets:          int(res.Counter(ctrTargets)),
+		Missed:           int(res.Counter(ctrMissed)),
+		Notifications:    int(res.Counter(ctrNotifications)),
+		MissAlarm:        res.Gauge(gaugeMissAlarm),
+		FalseAlarmProb:   res.Gauge(gaugeFalseAlarm),
+		DetectionLatency: res.Gauge(gaugeLatency),
+		LocalizationErr:  res.Gauge(gaugeLocErr),
+		EnergyPerNode:    res.Gauge(scenario.GaugeEnergyPerNodeJ),
+		TrafficEnergy:    res.Gauge(gaugeTrafficE),
+	}, nil
 }
 
 type baseNotif struct {
@@ -601,28 +686,14 @@ func SensorSweep(base SensorConfig, levels []int, faults []sensor.FaultKind, run
 		"latency":  stats.NewTable("Fig. 8(e) Target detection latency [s]", "config \\ fault"),
 		"locerr":   stats.NewTable("Fig. 8(f) Target localization error [m]", "config \\ fault"),
 	}
-	type rowSpec struct {
-		label string
-		ic    bool
-		level int
-	}
-	rows := []rowSpec{{label: "No IC"}}
-	for _, l := range levels {
-		rows = append(rows, rowSpec{label: fmt.Sprintf("IC, L=%d", l), ic: true, level: l})
-	}
-	// Enumerate every (config row × fault × run) replica up front. One job
-	// covers a replica's paired runs: with the target (Figs. 8 a–c, e–f)
-	// and without (Fig. 8 d) — as in the sequential sweep, the pair shares
-	// a seed and reports together.
+	// One grid point covers a replica's paired runs: with the target
+	// (Figs. 8 a–c, e–f) and without (Fig. 8 d) — as in the sequential
+	// sweep, the pair shares a seed and reports together.
 	type sensorPair struct {
 		res, ntRes SensorResult
 	}
-	type cell struct {
-		row, col string
-	}
-	var jobs []Job
-	var cells []cell
-	for _, row := range rows {
+	var points []GridPoint[SensorConfig]
+	for _, row := range configRows(levels) {
 		for _, fault := range faults {
 			for run := 0; run < runs; run++ {
 				cfg := base
@@ -632,48 +703,47 @@ func SensorSweep(base SensorConfig, levels []int, faults []sensor.FaultKind, run
 				}
 				cfg.Fault = fault
 				cfg.Seed = base.Seed + int64(run)
-				jobs = append(jobs, Job{
-					Index: len(jobs),
-					Label: fmt.Sprintf("%s fault=%s run=%d", row.label, fault, run),
-					Run: func() (any, error) {
-						res, err := RunSensor(cfg)
-						if err != nil {
-							return nil, err
-						}
-						ntCfg := cfg
-						ntCfg.NoTarget = true
-						ntRes, err := RunSensor(ntCfg)
-						if err != nil {
-							return nil, err
-						}
-						return sensorPair{res: res, ntRes: ntRes}, nil
-					},
+				points = append(points, GridPoint[SensorConfig]{
+					Label:  fmt.Sprintf("%s fault=%s run=%d", row.label, fault, run),
+					Row:    row.label,
+					Col:    fault.String(),
+					Config: cfg,
 				})
-				cells = append(cells, cell{row: row.label, col: fault.String()})
 			}
 		}
 	}
-
-	results, err := RunJobs(jobs, 0, progressWriter(progress, func(j Job, result any) string {
-		p := result.(sensorPair)
-		return fmt.Sprintf("%s: miss=%.0f%% false=%.2f%% lat=%.2fs loc=%.1fm E=%.2fJ/%.2fJ\n",
-			j.Label, 100*p.res.MissAlarm, p.res.FalseAlarmProb,
-			p.res.DetectionLatency, p.res.LocalizationErr, p.res.EnergyPerNode, p.ntRes.EnergyPerNode)
-	}))
+	err := SweepGrid(points,
+		func(cfg SensorConfig) (sensorPair, error) {
+			res, err := RunSensor(cfg)
+			if err != nil {
+				return sensorPair{}, err
+			}
+			ntCfg := cfg
+			ntCfg.NoTarget = true
+			ntRes, err := RunSensor(ntCfg)
+			if err != nil {
+				return sensorPair{}, err
+			}
+			return sensorPair{res: res, ntRes: ntRes}, nil
+		},
+		progress,
+		func(label string, p sensorPair) string {
+			return fmt.Sprintf("%s: miss=%.0f%% false=%.2f%% lat=%.2fs loc=%.1fm E=%.2fJ/%.2fJ\n",
+				label, 100*p.res.MissAlarm, p.res.FalseAlarmProb,
+				p.res.DetectionLatency, p.res.LocalizationErr, p.res.EnergyPerNode, p.ntRes.EnergyPerNode)
+		},
+		func(row, col string, p sensorPair) {
+			tables["miss"].Add(row, col, 100*p.res.MissAlarm)
+			tables["false"].Add(row, col, p.res.FalseAlarmProb)
+			tables["energyT"].Add(row, col, p.res.EnergyPerNode)
+			if p.res.Targets > p.res.Missed {
+				tables["latency"].Add(row, col, p.res.DetectionLatency)
+				tables["locerr"].Add(row, col, p.res.LocalizationErr)
+			}
+			tables["energyNT"].Add(row, col, p.ntRes.EnergyPerNode)
+		})
 	if err != nil {
 		return nil, err
-	}
-	for i, r := range results {
-		p := r.(sensorPair)
-		row, col := cells[i].row, cells[i].col
-		tables["miss"].Add(row, col, 100*p.res.MissAlarm)
-		tables["false"].Add(row, col, p.res.FalseAlarmProb)
-		tables["energyT"].Add(row, col, p.res.EnergyPerNode)
-		if p.res.Targets > p.res.Missed {
-			tables["latency"].Add(row, col, p.res.DetectionLatency)
-			tables["locerr"].Add(row, col, p.res.LocalizationErr)
-		}
-		tables["energyNT"].Add(row, col, p.ntRes.EnergyPerNode)
 	}
 	return tables, nil
 }

@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+)
+
+// GridPoint is one replica of a sweep grid: the config to run, the
+// progress/failure label, and the table cell the result folds into.
+type GridPoint[C any] struct {
+	Label    string
+	Row, Col string
+	Config   C
+}
+
+// configRow is one configuration row of the paper's sweeps: the No-IC
+// baseline or the inner circle at a dependability level.
+type configRow struct {
+	label string
+	ic    bool
+	level int
+}
+
+// configRows enumerates {No IC} followed by {IC, L=l} for each level —
+// the row axis every figure shares.
+func configRows(levels []int) []configRow {
+	rows := []configRow{{label: "No IC"}}
+	for _, l := range levels {
+		rows = append(rows, configRow{label: fmt.Sprintf("IC, L=%d", l), ic: true, level: l})
+	}
+	return rows
+}
+
+// SweepGrid is the generic sweep runner behind BlackholeSweep, SensorSweep
+// and CampaignSweep: it fans every grid point over the replica pool,
+// streams one progress line per completion, and folds results into the
+// caller's tables strictly in enumeration order — so the tables are
+// byte-identical for any worker count.
+func SweepGrid[C, R any](points []GridPoint[C], run func(C) (R, error), progress io.Writer, line func(label string, r R) string, fold func(row, col string, r R)) error {
+	jobs := make([]Job, len(points))
+	for i := range points {
+		p := points[i]
+		jobs[i] = Job{
+			Index: i,
+			Label: p.Label,
+			Run: func() (any, error) {
+				r, err := run(p.Config)
+				if err != nil {
+					return nil, err
+				}
+				return r, nil
+			},
+		}
+	}
+	results, err := RunJobs(jobs, 0, progressWriter(progress, func(j Job, result any) string {
+		return line(j.Label, result.(R))
+	}))
+	if err != nil {
+		return err
+	}
+	for i, r := range results {
+		fold(points[i].Row, points[i].Col, r.(R))
+	}
+	return nil
+}

@@ -248,6 +248,22 @@ type Campaign struct {
 	Entries []Entry `json:"entries"`
 }
 
+// CountBudget returns the number of attacker-order nodes the campaign's
+// Count selectors claim. Count entries all resolve from the head of the
+// same order — they overlap rather than accumulate — so the claim is the
+// maximum Count across entries. Apply fails exactly when this budget
+// exceeds the order's length; callers can use CountBudget to reject such
+// campaigns before building a replica.
+func (c *Campaign) CountBudget() int {
+	budget := 0
+	for _, e := range c.Entries {
+		if e.Targets.Count > budget {
+			budget = e.Targets.Count
+		}
+	}
+	return budget
+}
+
 // Validate checks every entry. It is called by Apply; campaigns built by
 // hand can call it early for better error locality.
 func (c *Campaign) Validate() error {

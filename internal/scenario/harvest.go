@@ -1,0 +1,64 @@
+package scenario
+
+import (
+	"strings"
+
+	"innercircle/internal/stats"
+)
+
+// Counter and gauge names the runner fills for every scenario. Component
+// and adversary harvesters add their own names after these, so a Result's
+// iteration order is: runner counters, component metrics, adversary
+// coverage.
+const (
+	CtrSent            = "sent"             // application payloads injected
+	CtrReceived        = "received"         // delivered intact at a sink
+	CtrReceivedCorrupt = "received_corrupt" // delivered with a corrupt-marked payload
+
+	// Fault-injection coverage (added by adversary harvesters):
+	CtrFaultsInjected   = "faults_injected"   // attack/fault actions taken
+	CtrFaultsSuppressed = "faults_suppressed" // neutralized at the protocol level
+	CtrFaultsLeaked     = "faults_leaked"     // corruption that reached a sink
+
+	GaugeThroughputPct  = "throughput_pct"    // received/sent, percent
+	GaugeEnergyPerNodeJ = "energy_per_node_j" // joules over the run
+)
+
+// Result is a scenario run's uniform harvest: ordered event counters and
+// ordered scalar gauges. Uniformity is the point — every scenario's
+// outcome flows through the same two containers, so sweep folding,
+// printing and regression comparison need no per-scenario structs.
+type Result struct {
+	Name     string
+	Counters *stats.Counters
+	Gauges   *stats.Gauges
+}
+
+// Counter returns a counter's value (0 if the run never touched it).
+func (r *Result) Counter(name string) uint64 { return r.Counters.Get(name) }
+
+// Gauge returns a gauge's value (0 if the run never set it).
+func (r *Result) Gauge(name string) float64 { return r.Gauges.Get(name) }
+
+// CorruptMark prefixes payloads mangled by a corrupt fault, so sinks can
+// tell leaked corruption from intact delivery.
+const CorruptMark = "\x00corrupt\x00"
+
+// SinkTally is the harvest-layer accounting for application sinks: every
+// delivered payload is classified as intact or leaked corruption. The
+// scenario Env carries one tally; sink components feed Deliver from their
+// delivery upcalls and the runner folds the totals into the Result.
+type SinkTally struct {
+	Received int // intact deliveries
+	Corrupt  int // corrupt-marked deliveries (faults that leaked through)
+}
+
+// Deliver classifies one sink-delivered payload. Only string payloads can
+// carry the corrupt mark; any other payload type counts as intact.
+func (t *SinkTally) Deliver(payload any) {
+	if s, ok := payload.(string); ok && strings.HasPrefix(s, CorruptMark) {
+		t.Corrupt++
+		return
+	}
+	t.Received++
+}

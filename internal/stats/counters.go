@@ -63,3 +63,59 @@ func (c *Counters) String() string {
 	}
 	return b.String()
 }
+
+// Gauges is the float64 sibling of Counters: an ordered set of named
+// metrics (throughput, energy per node, latency, ...) — the uniform
+// harvest vehicle of the scenario layer. Insertion order is preserved so
+// String is deterministic. The zero value is not ready: use NewGauges.
+type Gauges struct {
+	names []string
+	idx   map[string]int
+	vals  []float64
+}
+
+// NewGauges returns an empty gauge set.
+func NewGauges() *Gauges {
+	return &Gauges{idx: make(map[string]int)}
+}
+
+// Set stores the named gauge's value, creating it on first use.
+func (g *Gauges) Set(name string, v float64) {
+	i, ok := g.idx[name]
+	if !ok {
+		i = len(g.names)
+		g.idx[name] = i
+		g.names = append(g.names, name)
+		g.vals = append(g.vals, 0)
+	}
+	g.vals[i] = v
+}
+
+// Get returns the named gauge's value (0 if absent).
+func (g *Gauges) Get(name string) float64 {
+	if i, ok := g.idx[name]; ok {
+		return g.vals[i]
+	}
+	return 0
+}
+
+// Has reports whether the named gauge has been set.
+func (g *Gauges) Has(name string) bool {
+	_, ok := g.idx[name]
+	return ok
+}
+
+// Names returns the gauge names in insertion order.
+func (g *Gauges) Names() []string { return append([]string(nil), g.names...) }
+
+// String renders "name=value" pairs in insertion order.
+func (g *Gauges) String() string {
+	var b strings.Builder
+	for i, name := range g.names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%g", name, g.vals[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,29 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGaugesOrderAndValues(t *testing.T) {
+	g := NewGauges()
+	g.Set("throughput_pct", 87.5)
+	g.Set("energy_per_node_j", 1.25)
+	g.Set("throughput_pct", 90) // overwrite, keeps position
+	if got := g.Get("throughput_pct"); got != 90 {
+		t.Fatalf("Get = %v, want 90", got)
+	}
+	if g.Get("absent") != 0 {
+		t.Fatal("absent gauge should read 0")
+	}
+	if g.Has("absent") || !g.Has("energy_per_node_j") {
+		t.Fatal("Has misreports")
+	}
+	want := []string{"throughput_pct", "energy_per_node_j"}
+	if !reflect.DeepEqual(g.Names(), want) {
+		t.Fatalf("Names = %v, want %v", g.Names(), want)
+	}
+	if s := g.String(); s != "throughput_pct=90 energy_per_node_j=1.25" {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,58 @@
+package traffic
+
+import (
+	"fmt"
+
+	"innercircle/internal/sim"
+)
+
+// Epochs drives a synchronized duty-cycled workload (the Fig. 8 sensing
+// pattern): OnEpoch fires at every multiple of Period — epoch 1 at
+// Period, epoch 2 at 2·Period, ... — until the end of simulated time.
+// The epoch callback draws nothing from the traffic stream; scenario
+// components hook their per-epoch work (sampling, proposing) onto it.
+type Epochs struct {
+	Period  sim.Duration
+	OnEpoch func(epoch int64, now sim.Time)
+}
+
+// Validate implements Program. Epochs reserves no nodes.
+func (e *Epochs) Validate(int) (int, error) {
+	if e.Period <= 0 {
+		return 0, fmt.Errorf("traffic: epochs needs period > 0, got %v", e.Period)
+	}
+	if e.OnEpoch == nil {
+		return 0, fmt.Errorf("traffic: epochs needs an OnEpoch callback")
+	}
+	return 0, nil
+}
+
+// Plan implements Program.
+func (e *Epochs) Plan(deps Deps) (Plan, error) {
+	if _, err := e.Validate(deps.N); err != nil {
+		return nil, err
+	}
+	return &epochPlan{cfg: *e, deps: deps}, nil
+}
+
+type epochPlan struct {
+	cfg  Epochs
+	deps Deps
+}
+
+// Start schedules the epoch chain. Each firing re-checks the clock, so no
+// epoch triggers at or past Deps.End.
+func (p *epochPlan) Start() {
+	epoch := int64(0)
+	var fire func()
+	fire = func() {
+		now := p.deps.K.Now()
+		if now >= p.deps.End {
+			return
+		}
+		epoch++
+		p.cfg.OnEpoch(epoch, now)
+		p.deps.K.MustSchedule(p.cfg.Period, fire)
+	}
+	p.deps.K.MustSchedule(p.cfg.Period, fire)
+}
