@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	blackhole [-runs N] [-seed S] [-time T] [-max-malicious M] [-quick] [-cpuprofile out.pprof]
+//	blackhole [-runs N] [-seed S] [-time T] [-max-malicious M] [-quick] [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // The paper averages 50 runs per point; -runs trades completeness for
 // wall-clock time (each full-scale run simulates 300 s of a 50-node
@@ -30,12 +30,12 @@ func run() error {
 		step    = flag.Int("step", 2, "malicious-node count step")
 		gray    = flag.Float64("gray", 0, "gray-hole probability (0 = classic black holes)")
 		quick   = flag.Bool("quick", false, "reduced sweep for a fast preview")
-		quiet   = flag.Bool("quiet", false, "suppress per-run progress")
-		cpuprof = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		quiet = flag.Bool("quiet", false, "suppress per-run progress")
+		prof  = cliutil.AddProfileFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
-	stop, err := cliutil.StartCPUProfile(*cpuprof)
+	stop, err := prof.Start()
 	if err != nil {
 		return err
 	}

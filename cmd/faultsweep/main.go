@@ -37,8 +37,15 @@ func run() error {
 		conns       = flag.Int("conns", 10, "CBR connections (count-selected attackers come from the remaining nodes)")
 		levelsCSV   = flag.String("levels", "1,2", "comma-separated dependability levels")
 		quiet       = flag.Bool("quiet", false, "suppress per-run progress")
+		prof        = cliutil.AddProfileFlags(flag.CommandLine)
 	)
 	flag.Parse()
+
+	stop, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stop()
 
 	var campaigns []ic.Campaign
 	for _, path := range cliutil.SplitCSV(*campaignCSV) {
@@ -96,6 +103,7 @@ func run() error {
 	fmt.Println(tables.Injected.String())
 	fmt.Println(tables.Suppressed.String())
 	fmt.Println(tables.Leaked.String())
+	fmt.Println(tables.VerifiesAvoided.String())
 	return nil
 }
 

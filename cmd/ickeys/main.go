@@ -28,8 +28,15 @@ func run() error {
 		signers = flag.String("signers", "", "comma-separated 1-based share indices (default: first L+1)")
 		msg     = flag.String("msg", "agreed value v", "message to sign")
 		refresh = flag.Bool("refresh", false, "demonstrate proactive share refresh after signing")
+		prof    = cliutil.AddProfileFlags(flag.CommandLine)
 	)
 	flag.Parse()
+
+	stop, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stop()
 
 	var dealer ic.Dealer
 	switch *scheme {

@@ -31,8 +31,15 @@ func run() error {
 		level     = flag.Int("L", 1, "dependability level")
 		seed      = flag.Int64("seed", 1, "seed")
 		traceN    = flag.Int("trace", 0, "print the last N wire events")
+		prof      = cliutil.AddProfileFlags(flag.CommandLine)
 	)
 	flag.Parse()
+
+	stop, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stop()
 
 	cfg := ic.PaperBlackholeConfig()
 	cfg.Nodes = *nodes

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	sensornet [-runs N] [-seed S] [-levels 2,3,4,5,6,7] [-weak] [-quick] [-cpuprofile out.pprof]
+//	sensornet [-runs N] [-seed S] [-levels 2,3,4,5,6,7] [-weak] [-quick] [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // -weak reruns the sweep with the weaker target signal (K·T = 10000) the
 // paper uses to probe the miss-alarm limits of large inner circles.
@@ -31,11 +31,11 @@ func run() error {
 		fusionArg = flag.String("fusion", "cluster", "statistical fusion algorithm: cluster|mean|naive (ablation A8)")
 		quick     = flag.Bool("quick", false, "reduced sweep for a fast preview")
 		quiet     = flag.Bool("quiet", false, "suppress per-run progress")
-		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		prof      = cliutil.AddProfileFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
-	stop, err := cliutil.StartCPUProfile(*cpuprof)
+	stop, err := prof.Start()
 	if err != nil {
 		return err
 	}

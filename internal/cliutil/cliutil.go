@@ -3,9 +3,11 @@
 package cliutil
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
@@ -23,21 +25,71 @@ func Main(name string, run func() error) {
 // StartCPUProfile begins a pprof CPU profile when path is non-empty and
 // returns a stop function (a no-op for an empty path) to defer.
 func StartCPUProfile(path string) (stop func(), err error) {
-	if path == "" {
-		return func() {}, nil
+	p := Profile{CPU: path}
+	return p.Start()
+}
+
+// Profile holds the destinations of the profiling flags every cmd/ tool
+// shares: a CPU profile covering the run and a heap snapshot taken at
+// stop time (after a GC, so live allocations — the sweep engine's steady
+// state — dominate over garbage).
+type Profile struct {
+	CPU string
+	Mem string
+}
+
+// AddProfileFlags registers the shared -cpuprofile/-memprofile flags on
+// fs and returns the Profile they fill in after fs is parsed.
+func AddProfileFlags(fs *flag.FlagSet) *Profile {
+	p := &Profile{}
+	fs.StringVar(&p.CPU, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	fs.StringVar(&p.Mem, "memprofile", "", "write a pprof heap profile at exit to this file")
+	return p
+}
+
+// Start begins the requested profiles and returns the stop function to
+// defer: it ends the CPU profile and writes the heap snapshot. Profile
+// setup failures are returned; a failed heap write at stop time is
+// reported on stderr (the run's results already exist — don't fail them).
+func (p *Profile) Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if p.CPU != "" {
+		cpuFile, err = os.Create(p.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
 	}
+	memPath := p.Mem
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath == "" {
+			return
+		}
+		if err := writeHeapProfile(memPath); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+	}, nil
+}
+
+// writeHeapProfile snapshots the heap into path.
+func writeHeapProfile(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
-		return nil, fmt.Errorf("cpuprofile: %w", err)
+		return err
 	}
-	if err := pprof.StartCPUProfile(f); err != nil {
+	runtime.GC() // flush garbage so the snapshot shows live memory
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("cpuprofile: %w", err)
+		return err
 	}
-	return func() {
-		pprof.StopCPUProfile()
-		f.Close()
-	}, nil
+	return f.Close()
 }
 
 // SplitCSV splits a comma-separated flag value, trimming whitespace and

@@ -1,9 +1,55 @@
 package cliutil
 
 import (
+	"flag"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 )
+
+func TestAddProfileFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	p := AddProfileFlags(fs)
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	if p.CPU != cpu || p.Mem != mem {
+		t.Fatalf("flags not bound: %+v", p)
+	}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", path, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+}
+
+func TestProfileStartNoop(t *testing.T) {
+	var p Profile
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop() // must be a harmless no-op
+	if _, err := (&Profile{CPU: filepath.Join(t.TempDir(), "no/such/dir/x")}).Start(); err == nil {
+		t.Fatal("unwritable cpuprofile path accepted")
+	}
+	if _, err := (&Profile{Mem: "whatever"}).Start(); err != nil {
+		t.Fatalf("mem-only profile must not fail at start: %v", err)
+	}
+}
 
 func TestSplitCSV(t *testing.T) {
 	cases := []struct {

@@ -1,0 +1,55 @@
+package nsl
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchKey(b *testing.B, bits int) *KeyPair {
+	b.Helper()
+	kp, err := GenerateKeyPair(bits, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return kp
+}
+
+// BenchmarkNSLSign measures the private-key operation behind every signed
+// sensor value and every authenticated STS beacon (512-bit keys, the
+// paper's sensor parameter).
+func BenchmarkNSLSign(b *testing.B) {
+	for _, bits := range []int{512, 1024} {
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			kp := benchKey(b, bits)
+			msgs := make([][]byte, 16)
+			for r := range msgs {
+				msgs[r] = []byte(fmt.Sprintf("nsl-bench-msg-%d", r))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if sig := kp.Sign(msgs[i%len(msgs)]); len(sig) == 0 {
+					b.Fatal("empty signature")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNSLVerify measures the matching public-key check.
+func BenchmarkNSLVerify(b *testing.B) {
+	kp := benchKey(b, 512)
+	msgs := make([][]byte, 16)
+	sigs := make([][]byte, 16)
+	for r := range msgs {
+		msgs[r] = []byte(fmt.Sprintf("nsl-bench-msg-%d", r))
+		sigs[r] = kp.Sign(msgs[r])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Verify(kp.Pub, msgs[i%len(msgs)], sigs[i%len(msgs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

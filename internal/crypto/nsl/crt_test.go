@@ -1,0 +1,45 @@
+package nsl
+
+import (
+	"bytes"
+	"fmt"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+)
+
+// TestCRTMatchesDirectExponentiation checks that the CRT private-key path
+// produces bit-identical results to the direct c^d mod N form, for both
+// signing and decryption, across modulus sizes.
+func TestCRTMatchesDirectExponentiation(t *testing.T) {
+	for _, bits := range []int{512, 1024} {
+		kp, err := GenerateKeyPair(bits, mrand.New(mrand.NewSource(int64(bits))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kp.crt == nil {
+			t.Fatalf("bits=%d: CRT context not built", bits)
+		}
+		rng := mrand.New(mrand.NewSource(9))
+		for i := 0; i < 20; i++ {
+			c := new(big.Int).Rand(rng, kp.Pub.N)
+			got := kp.privExp(c)
+			want := new(big.Int).Exp(c, kp.d, kp.Pub.N)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("bits=%d trial=%d: CRT exponentiation differs from direct", bits, i)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			msg := []byte(fmt.Sprintf("crt-msg-%d", i))
+			sig := kp.Sign(msg)
+			h := hashToModulusN(msg, kp.Pub.N)
+			want := new(big.Int).Exp(h, kp.d, kp.Pub.N).Bytes()
+			if !bytes.Equal(sig, want) {
+				t.Fatalf("bits=%d msg=%d: CRT signature differs from direct", bits, i)
+			}
+			if err := Verify(kp.Pub, msg, sig); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

@@ -42,6 +42,32 @@ type PublicKey struct {
 type KeyPair struct {
 	Pub PublicKey
 	d   *big.Int
+	crt *crtKey // private-exponent CRT context, nil if unavailable
+}
+
+// crtKey holds the Chinese-remainder decomposition of the private
+// exponent: two half-size exponentiations plus Garner recombination
+// compute c^d mod N about four times faster than the direct form, with
+// bit-identical results. Value signing and handshake decryption are the
+// dominant replica-level crypto cost, so key generation precomputes this
+// once per key.
+type crtKey struct {
+	p, q, dp, dq, qinv *big.Int
+}
+
+// privExp computes c^d mod N, via the CRT context when present.
+func (kp *KeyPair) privExp(c *big.Int) *big.Int {
+	k := kp.crt
+	if k == nil {
+		return new(big.Int).Exp(c, kp.d, kp.Pub.N)
+	}
+	m1 := new(big.Int).Exp(c, k.dp, k.p)
+	m2 := new(big.Int).Exp(c, k.dq, k.q)
+	h := m1.Sub(m1, m2) // Garner: m = m2 + q·(qinv·(m1 − m2) mod p)
+	h.Mul(h, k.qinv)
+	h.Mod(h, k.p)
+	h.Mul(h, k.q)
+	return h.Add(h, m2)
 }
 
 // GenerateKeyPair creates an RSA key pair of the given modulus size.
@@ -79,7 +105,17 @@ func GenerateKeyPair(bits int, randSrc io.Reader) (*KeyPair, error) {
 		if d == nil {
 			continue
 		}
-		return &KeyPair{Pub: PublicKey{N: n, E: new(big.Int).Set(e)}, d: d}, nil
+		kp := &KeyPair{Pub: PublicKey{N: n, E: new(big.Int).Set(e)}, d: d}
+		if qinv := new(big.Int).ModInverse(q, p); qinv != nil {
+			kp.crt = &crtKey{
+				p:    p,
+				q:    q,
+				dp:   new(big.Int).Mod(d, new(big.Int).Sub(p, one)),
+				dq:   new(big.Int).Mod(d, new(big.Int).Sub(q, one)),
+				qinv: qinv,
+			}
+		}
+		return kp, nil
 	}
 }
 
@@ -137,7 +173,7 @@ func (kp *KeyPair) decrypt(cipher []byte) ([]byte, error) {
 	if c.Cmp(kp.Pub.N) >= 0 {
 		return nil, errors.New("nsl: ciphertext out of range")
 	}
-	m := new(big.Int).Exp(c, kp.d, kp.Pub.N)
+	m := kp.privExp(c)
 	padded := m.Bytes()
 	// Layout: [0x02, r8 (8 bytes), 0x00, plain]. The leading 0x02 survives
 	// the big.Int round trip because it is non-zero.

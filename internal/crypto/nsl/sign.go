@@ -12,7 +12,7 @@ import (
 // receiver holding the directory can authenticate them.
 func (kp *KeyPair) Sign(msg []byte) []byte {
 	h := hashToModulusN(msg, kp.Pub.N)
-	return new(big.Int).Exp(h, kp.d, kp.Pub.N).Bytes()
+	return kp.privExp(h).Bytes()
 }
 
 // ErrBadSig is returned by Verify for invalid signatures.

@@ -1,0 +1,145 @@
+// Package sigcache provides a bounded, deterministic memo for signature
+// verification verdicts. Verifying a threshold or RSA signature is a
+// modular exponentiation; inside one replica the same (key, message,
+// signature) triple is verified many times — every node checks the same
+// flooded agreed message, every vote round re-checks the same value
+// signatures — and verification is a pure function of that triple, so the
+// verdict can be reused. The cache is an LRU over an exact key that
+// includes the verifying key's identity and proactive-refresh epoch, so a
+// refreshed key can never serve a stale verdict.
+//
+// The cache memoizes the *verdict only*. Simulation-side accounting
+// (energy, delay) is charged by the caller unconditionally, so enabling
+// the memo never changes experiment tables — only wall-clock time. The
+// IC_CRYPTO_MEMO environment knob (FromEnv) turns it off for A/B runs.
+//
+// A cache instance is not safe for concurrent use. Replicas are
+// single-threaded event loops and each replica owns one cache, so the
+// parallel sweep engine never shares an instance across goroutines.
+package sigcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"os"
+)
+
+// Kind namespaces cache keys by verification flavor.
+type Kind uint8
+
+const (
+	// KindNSL is an nsl.Verify verdict (plain RSA signature).
+	KindNSL Kind = iota + 1
+	// KindThresh is a thresh GroupKey.Verify verdict (combined signature).
+	KindThresh
+	// KindPartial is a thresh VerifyPartial verdict (one partial).
+	KindPartial
+)
+
+// Key identifies one verification exactly. Scope holds a comparable
+// identity for the verifying key — the GroupKey interface value or the
+// nsl.PublicKey struct — and Epoch its proactive-refresh epoch, so
+// refreshing a key invalidates all of its entries without a sweep.
+type Key struct {
+	Kind  Kind
+	Scope any
+	Epoch uint64
+	Sum   [32]byte
+}
+
+// Entry is a memoized verdict: the exact error the verification returned
+// (nil for success).
+type Entry struct {
+	Err error
+}
+
+// HashParts digests the variable-length inputs of a verification
+// (message, signature bytes) into a fixed key component. Parts are
+// length-prefixed, so concatenation ambiguity cannot alias two
+// verifications to one key.
+func HashParts(parts ...[]byte) [32]byte {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(n[:], uint64(len(p)))
+		_, _ = h.Write(n[:])
+		_, _ = h.Write(p)
+	}
+	var sum [32]byte
+	copy(sum[:], h.Sum(nil))
+	return sum
+}
+
+// DefaultCap bounds the memo; at a few hundred bytes per entry the
+// default stays well under a megabyte per replica.
+const DefaultCap = 1024
+
+// Cache is a bounded LRU of verification verdicts.
+type Cache struct {
+	cap int
+	ll  *list.List
+	m   map[Key]*list.Element
+}
+
+type lruItem struct {
+	key   Key
+	entry Entry
+}
+
+// New returns a cache bounded to capacity entries (DefaultCap if <= 0).
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCap
+	}
+	return &Cache{cap: capacity, ll: list.New(), m: make(map[Key]*list.Element)}
+}
+
+// EnvVar is the environment knob read by FromEnv.
+const EnvVar = "IC_CRYPTO_MEMO"
+
+// FromEnv returns a default-capacity cache, or nil (memo disabled) when
+// IC_CRYPTO_MEMO is set to "off" or "0". The memo is on by default.
+func FromEnv() *Cache {
+	switch os.Getenv(EnvVar) {
+	case "off", "0":
+		return nil
+	}
+	return New(DefaultCap)
+}
+
+// Get returns the memoized verdict for k, marking it recently used.
+func (c *Cache) Get(k Key) (Entry, bool) {
+	el, ok := c.m[k]
+	if !ok {
+		return Entry{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruItem).entry, true
+}
+
+// Put memoizes the verdict for k, evicting the least recently used entry
+// when the cache is full.
+func (c *Cache) Put(k Key, e Entry) {
+	if el, ok := c.m[k]; ok {
+		el.Value.(*lruItem).entry = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.cap {
+		back := c.ll.Back()
+		if back != nil {
+			c.ll.Remove(back)
+			delete(c.m, back.Value.(*lruItem).key)
+		}
+	}
+	c.m[k] = c.ll.PushFront(&lruItem{key: k, entry: e})
+}
+
+// Len reports the current entry count.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	return c.ll.Len()
+}

@@ -1,0 +1,72 @@
+package sigcache
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func key(i int, epoch uint64) Key {
+	return Key{Kind: KindNSL, Scope: "k", Epoch: epoch, Sum: HashParts([]byte(fmt.Sprintf("m%d", i)))}
+}
+
+func TestCacheHitMissAndVerdicts(t *testing.T) {
+	c := New(4)
+	if _, ok := c.Get(key(1, 0)); ok {
+		t.Fatal("hit on empty cache")
+	}
+	errBad := errors.New("bad")
+	c.Put(key(1, 0), Entry{})
+	c.Put(key(2, 0), Entry{Err: errBad})
+	if e, ok := c.Get(key(1, 0)); !ok || e.Err != nil {
+		t.Fatalf("want ok verdict, got ok=%v err=%v", ok, e.Err)
+	}
+	if e, ok := c.Get(key(2, 0)); !ok || !errors.Is(e.Err, errBad) {
+		t.Fatalf("want memoized error, got ok=%v err=%v", ok, e.Err)
+	}
+	// Same message under a bumped epoch is a different key.
+	if _, ok := c.Get(key(1, 1)); ok {
+		t.Fatal("epoch bump must invalidate")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Put(key(1, 0), Entry{})
+	c.Put(key(2, 0), Entry{})
+	c.Get(key(1, 0)) // 1 is now most recent
+	c.Put(key(3, 0), Entry{})
+	if _, ok := c.Get(key(2, 0)); ok {
+		t.Fatal("LRU entry 2 should have been evicted")
+	}
+	if _, ok := c.Get(key(1, 0)); !ok {
+		t.Fatal("recently used entry 1 evicted")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestHashPartsLengthPrefixed(t *testing.T) {
+	a := HashParts([]byte("ab"), []byte("c"))
+	b := HashParts([]byte("a"), []byte("bc"))
+	if a == b {
+		t.Fatal("length prefixing failed: concatenation aliases collide")
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	t.Setenv(EnvVar, "off")
+	if FromEnv() != nil {
+		t.Fatal("IC_CRYPTO_MEMO=off must disable the memo")
+	}
+	t.Setenv(EnvVar, "")
+	if FromEnv() == nil {
+		t.Fatal("memo should default to on")
+	}
+	// nil receiver Len is safe (disabled-memo path).
+	var nilCache *Cache
+	if nilCache.Len() != 0 {
+		t.Fatal("nil cache Len")
+	}
+}

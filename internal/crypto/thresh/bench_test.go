@@ -1,0 +1,114 @@
+package thresh
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchDeals caches dealt keys across benchmarks: 1024-bit key generation
+// takes seconds and is irrelevant to the measured hot path. Benchmarks in
+// one binary run sequentially, so a plain map is fine.
+var benchDeals = map[string]struct {
+	gk      GroupKey
+	signers []Signer
+}{}
+
+func benchDeal(b *testing.B, bits, k, n int) (GroupKey, []Signer) {
+	b.Helper()
+	key := fmt.Sprintf("%d/%d/%d", bits, k, n)
+	if d, ok := benchDeals[key]; ok {
+		return d.gk, d.signers
+	}
+	gk, signers, err := (&RSADealer{Bits: bits}).Deal(k, n)
+	if err != nil {
+		b.Fatalf("deal: %v", err)
+	}
+	benchDeals[key] = struct {
+		gk      GroupKey
+		signers []Signer
+	}{gk, signers}
+	return gk, signers
+}
+
+// benchRounds is the number of distinct pre-generated messages the
+// benchmarks cycle through. Messages vary per round in a real vote while
+// the co-signer set recurs, so cycling keeps the hash/exponentiation
+// inputs honest without letting per-round setup leak into the timing.
+const benchRounds = 16
+
+func benchMessages() [][]byte {
+	msgs := make([][]byte, benchRounds)
+	for r := range msgs {
+		msgs[r] = []byte(fmt.Sprintf("thresh-bench-msg-%d", r))
+	}
+	return msgs
+}
+
+// BenchmarkPartialSign measures one share's x_i = H(m)^(2Δ·s_i) mod N on
+// the paper's ad hoc parameters (1024-bit modulus, L=2 → threshold 2 of 5).
+func BenchmarkPartialSign(b *testing.B) {
+	_, signers := benchDeal(b, 1024, 2, 5)
+	msgs := benchMessages()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := signers[0].PartialSign(msgs[i%benchRounds]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCombine measures Shoup combination for a recurring co-signer
+// set {1,2,3} — the steady-state shape of a vote round, where the same
+// k+1 neighbours co-sign successive messages.
+func BenchmarkCombine(b *testing.B) {
+	gk, signers := benchDeal(b, 1024, 2, 5)
+	msgs := benchMessages()
+	parts := make([][]Partial, benchRounds)
+	for r := range msgs {
+		for _, s := range signers[:gk.Threshold()+1] {
+			p, err := s.PartialSign(msgs[r])
+			if err != nil {
+				b.Fatal(err)
+			}
+			parts[r] = append(parts[r], p)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gk.Combine(msgs[i%benchRounds], parts[i%benchRounds]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThreshVerify measures plain RSA verification of a combined
+// signature — what every remote recipient of an agreed message performs.
+func BenchmarkThreshVerify(b *testing.B) {
+	gk, signers := benchDeal(b, 1024, 2, 5)
+	msgs := benchMessages()
+	sigs := make([]Signature, benchRounds)
+	for r := range msgs {
+		var parts []Partial
+		for _, s := range signers[:gk.Threshold()+1] {
+			p, err := s.PartialSign(msgs[r])
+			if err != nil {
+				b.Fatal(err)
+			}
+			parts = append(parts, p)
+		}
+		sig, err := gk.Combine(msgs[r], parts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sigs[r] = sig
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := gk.Verify(msgs[i%benchRounds], sigs[i%benchRounds]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -52,7 +52,7 @@ func (d *RSADealer) Refresh(gk GroupKey, old []Signer) ([]Signer, error) {
 		z := zeroShares[rs.index-1]
 		sum := new(big.Int).Add(rs.share, z.Y)
 		sum.Mod(sum, lambda)
-		out[i] = &rsaSigner{gk: rk, index: rs.index, share: sum}
+		out[i] = newRSASigner(rk, rs.index, sum)
 	}
 	rk.epoch++
 	return out, nil

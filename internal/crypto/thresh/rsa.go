@@ -3,9 +3,11 @@ package thresh
 import (
 	"crypto/rand"
 	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 
 	"innercircle/internal/crypto/shamir"
 )
@@ -86,13 +88,16 @@ func (d *RSADealer) Deal(k, n int) (GroupKey, []Signer, error) {
 		return nil, nil, fmt.Errorf("thresh: share private exponent: %w", err)
 	}
 	gk := &rsaGroupKey{k: k, n: n, modulus: N, e: e, delta: factorial(n)}
+	if err := gk.precompute(); err != nil {
+		return nil, nil, err
+	}
 	if d.secrets == nil {
 		d.secrets = make(map[*rsaGroupKey]*big.Int)
 	}
 	d.secrets[gk] = lambda
 	signers := make([]Signer, n)
 	for i, s := range shares {
-		signers[i] = &rsaSigner{gk: gk, index: s.X, share: s.Y}
+		signers[i] = newRSASigner(gk, s.X, s.Y)
 	}
 	return gk, signers, nil
 }
@@ -107,6 +112,11 @@ func factorial(n int) *big.Int {
 
 // hashToModulus maps msg to an element of Z_N* via SHA-256 expansion.
 func hashToModulus(msg []byte, modulus *big.Int) *big.Int {
+	return hashToModulusInto(new(big.Int), msg, modulus)
+}
+
+// hashToModulusInto is hashToModulus writing into dst (scratch reuse).
+func hashToModulusInto(dst *big.Int, msg []byte, modulus *big.Int) *big.Int {
 	need := (modulus.BitLen() + 7) / 8
 	var out []byte
 	var ctr uint8
@@ -117,12 +127,12 @@ func hashToModulus(msg []byte, modulus *big.Int) *big.Int {
 		out = h.Sum(out)
 		ctr++
 	}
-	x := new(big.Int).SetBytes(out[:need])
-	x.Mod(x, modulus)
-	if x.Sign() == 0 {
-		x.SetInt64(1)
+	dst.SetBytes(out[:need])
+	dst.Mod(dst, modulus)
+	if dst.Sign() == 0 {
+		dst.SetInt64(1)
 	}
-	return x
+	return dst
 }
 
 type rsaGroupKey struct {
@@ -131,6 +141,20 @@ type rsaGroupKey struct {
 	e       *big.Int
 	delta   *big.Int // n!
 	epoch   uint64   // proactive-refresh epoch, diagnostics only
+
+	// Key-dependent, message-independent context, computed once at deal
+	// time (Shoup's observation: everything but H(m)^exp can be reused).
+	// aAbs/bAbs are stored as magnitudes plus sign flags so concurrent
+	// Combine calls never mutate the shared big.Ints.
+	fourDeltaSq *big.Int // 4Δ²
+	aAbs, bAbs  *big.Int // |a|, |b| where a·4Δ² + b·e = 1
+	aNeg, bNeg  bool
+	mont        *montCtx // fixed-modulus Montgomery arithmetic
+
+	// lag memoizes the 2λ^S_{0,i} Lagrange-coefficient vectors per
+	// co-signer set: vote rounds reuse the same k+1 neighbours constantly.
+	mu  sync.Mutex
+	lag map[string]*lagEntry
 }
 
 var _ GroupKey = (*rsaGroupKey)(nil)
@@ -139,20 +163,117 @@ func (g *rsaGroupKey) Threshold() int { return g.k }
 func (g *rsaGroupKey) Players() int   { return g.n }
 func (g *rsaGroupKey) SigBytes() int  { return (g.modulus.BitLen() + 7) / 8 }
 
+// Epoch reports the proactive-refresh epoch (see Refresher). Verification
+// memos include it in their cache key so refreshed keys never serve stale
+// entries.
+func (g *rsaGroupKey) Epoch() uint64 { return g.epoch }
+
+// precompute derives the per-key constants of Shoup's combination step:
+// 4Δ², the extended-Euclid pair a·4Δ² + b·e = 1, and the Montgomery
+// context for the fixed modulus. Dealt keys always satisfy
+// gcd(4Δ², e) = 1 because e is a prime > n.
+func (g *rsaGroupKey) precompute() error {
+	g.fourDeltaSq = new(big.Int).Mul(g.delta, g.delta)
+	g.fourDeltaSq.Lsh(g.fourDeltaSq, 2)
+	a := new(big.Int)
+	b := new(big.Int)
+	gcd := new(big.Int).GCD(a, b, g.fourDeltaSq, g.e)
+	if gcd.Cmp(big.NewInt(1)) != 0 {
+		return fmt.Errorf("thresh: gcd(4Δ², e) != 1 (e too small for n)")
+	}
+	g.aNeg = a.Sign() < 0
+	g.bNeg = b.Sign() < 0
+	g.aAbs = a.Abs(a)
+	g.bAbs = b.Abs(b)
+	g.mont = newMontCtx(g.modulus)
+	return nil
+}
+
+// lagEntry is the memoized coefficient vector for one co-signer set:
+// |2λ^S_{0,i}| plus sign, aligned with the sorted index slice. Entries are
+// immutable once published.
+type lagEntry struct {
+	idx []int
+	abs []*big.Int
+	neg []bool
+}
+
+// coeff returns |2λ^S_{0,i}| and its sign for share index i.
+func (le *lagEntry) coeff(i int) (*big.Int, bool) {
+	for j, v := range le.idx {
+		if v == i {
+			return le.abs[j], le.neg[j]
+		}
+	}
+	panic("thresh: index not in lagrange entry")
+}
+
+// lagCacheCap bounds the per-key coefficient memo. A vote service sees a
+// handful of co-signer sets; the cap only matters under adversarial churn,
+// where the whole map is dropped and rebuilt on demand (deterministic and
+// allocation-cheap at this size).
+const lagCacheCap = 64
+
+// lagrangeSet returns the memoized 2λ^S_{0,i} vector for the given
+// co-signer set (order-insensitive).
+func (g *rsaGroupKey) lagrangeSet(set []int) *lagEntry {
+	sorted := make([]int, len(set))
+	copy(sorted, set)
+	for i := 1; i < len(sorted); i++ { // insertion sort; k+1 is tiny
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	key := make([]byte, 0, 4*len(sorted))
+	for _, v := range sorted {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], uint32(v))
+		key = append(key, b[:]...)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if e, ok := g.lag[string(key)]; ok {
+		return e
+	}
+	le := &lagEntry{idx: sorted}
+	for _, i := range sorted {
+		lam := g.lagrangeNumerator(sorted, i)
+		lam.Lsh(lam, 1) // 2λ
+		neg := lam.Sign() < 0
+		le.abs = append(le.abs, lam.Abs(lam))
+		le.neg = append(le.neg, neg)
+	}
+	if g.lag == nil || len(g.lag) >= lagCacheCap {
+		g.lag = make(map[string]*lagEntry)
+	}
+	g.lag[string(key)] = le
+	return le
+}
+
 type rsaSigner struct {
 	gk    *rsaGroupKey
 	index int
 	share *big.Int
+	exp   *big.Int // 2Δ·s_i, the fixed PartialSign exponent
+}
+
+// newRSASigner precomputes the signer's fixed exponent 2Δ·s_i — it never
+// changes between messages, so both Deal and Refresh hoist it here.
+func newRSASigner(gk *rsaGroupKey, index int, share *big.Int) *rsaSigner {
+	exp := new(big.Int).Lsh(gk.delta, 1) // 2Δ
+	exp.Mul(exp, share)
+	return &rsaSigner{gk: gk, index: index, share: share, exp: exp}
 }
 
 func (s *rsaSigner) Index() int { return s.index }
 
-// PartialSign computes x_i = H(m)^(2Δ·s_i) mod N.
+// PartialSign computes x_i = H(m)^(2Δ·s_i) mod N. The ~modulus-sized
+// exponent keeps this in math/big's Exp (whose assembly inner loops win
+// at that size); the precomputed exponent and in-place reuse of the
+// hashed base trim the per-call overhead.
 func (s *rsaSigner) PartialSign(msg []byte) (Partial, error) {
 	x := hashToModulus(msg, s.gk.modulus)
-	exp := new(big.Int).Lsh(s.gk.delta, 1) // 2Δ
-	exp.Mul(exp, s.share)
-	xi := new(big.Int).Exp(x, exp, s.gk.modulus)
+	xi := x.Exp(x, s.exp, s.gk.modulus)
 	return Partial{Index: s.index, Data: xi.Bytes()}, nil
 }
 
@@ -171,8 +292,32 @@ func (g *rsaGroupKey) lagrangeNumerator(set []int, i int) *big.Int {
 	return num.Div(num, den) // exact by construction
 }
 
+// combineScratch pools the working set of Combine/Verify — big.Int
+// temporaries plus the Montgomery limb arena — so the steady-state paths
+// stop churning allocations.
+type combineScratch struct {
+	x, q, t big.Int
+	xi      []big.Int
+	posB    [][]big.Word
+	negB    [][]big.Word
+	posE    []*big.Int
+	negE    []*big.Int
+	mont    montScratch
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(combineScratch) }}
+
 // Combine implements Shoup's combination: w = Π x_i^(2λ_{0,i}) satisfies
 // w^e = H(m)^(4Δ²); with a·4Δ² + b·e = 1 the signature is w^a · H(m)^b.
+//
+// The product is evaluated in the key's Montgomery context as a single
+// fraction P/Q — numerator factors collect the positive signed exponents,
+// denominator factors the negative ones, each side one interleaved
+// square-and-multiply chain — so exactly one ModInverse runs per call
+// (the seed code inverted once per negative exponent) and the Montgomery
+// setup that math/big's Exp rebuilds per call is reused from deal time.
+// The signature value is identical to the per-factor evaluation — only
+// the operation count changes.
 func (g *rsaGroupKey) Combine(msg []byte, partials []Partial) (Signature, error) {
 	// Select k+1 distinct candidate partials.
 	seen := make(map[int]bool)
@@ -194,53 +339,117 @@ func (g *rsaGroupKey) Combine(msg []byte, partials []Partial) (Signature, error)
 	for i, p := range use {
 		set[i] = p.Index
 	}
-	x := hashToModulus(msg, g.modulus)
-	w := big.NewInt(1)
-	for _, p := range use {
-		xi := new(big.Int).SetBytes(p.Data)
-		lam := g.lagrangeNumerator(set, p.Index)
-		exp := new(big.Int).Lsh(lam, 1) // 2λ
-		var t *big.Int
-		if exp.Sign() < 0 {
-			inv := new(big.Int).ModInverse(xi, g.modulus)
-			if inv == nil {
-				return Signature{}, fmt.Errorf("%w: partial %d not invertible", ErrBadPartial, p.Index)
-			}
-			t = new(big.Int).Exp(inv, new(big.Int).Neg(exp), g.modulus)
-		} else {
-			t = new(big.Int).Exp(xi, exp, g.modulus)
+	lag := g.lagrangeSet(set)
+
+	sc := scratchPool.Get().(*combineScratch)
+	defer scratchPool.Put(sc)
+	mc := g.mont
+	ms := &sc.mont
+	ms.reset(mc.k)
+	if cap(sc.xi) < len(use) {
+		sc.xi = make([]big.Int, len(use))
+	}
+	sc.xi = sc.xi[:len(use)]
+
+	x := hashToModulusInto(&sc.x, msg, g.modulus)
+	xm := mc.toMont(ms, x)
+
+	// Split the partials by Lagrange-coefficient sign: w = num/den.
+	posB, posE := sc.posB[:0], sc.posE[:0]
+	negB, negE := sc.negB[:0], sc.negE[:0]
+	for i, p := range use {
+		xi := sc.xi[i].SetBytes(p.Data)
+		if xi.Cmp(g.modulus) >= 0 {
+			xi.Mod(xi, g.modulus)
 		}
-		w.Mul(w, t)
-		w.Mod(w, g.modulus)
+		xim := mc.toMont(ms, xi)
+		abs, neg := lag.coeff(p.Index)
+		if neg {
+			negB, negE = append(negB, xim), append(negE, abs)
+		} else {
+			posB, posE = append(posB, xim), append(posE, abs)
+		}
 	}
-	// w^e = x^(4Δ²); find a, b with a·4Δ² + b·e = 1.
-	fourDeltaSq := new(big.Int).Mul(g.delta, g.delta)
-	fourDeltaSq.Lsh(fourDeltaSq, 2)
-	a := new(big.Int)
-	b := new(big.Int)
-	gcd := new(big.Int).GCD(a, b, fourDeltaSq, g.e)
-	if gcd.Cmp(big.NewInt(1)) != 0 {
-		return Signature{}, fmt.Errorf("thresh: gcd(4Δ², e) != 1 (e too small for n)")
+	sc.posB, sc.posE = posB[:0], posE[:0]
+	sc.negB, sc.negE = negB[:0], negE[:0]
+
+	num := ms.alloc(mc.k)
+	den := ms.alloc(mc.k)
+	mc.expChain(ms, num, posB, posE)
+	mc.expChain(ms, den, negB, negE)
+
+	// sig = num^a · den^(−a) · x^b. Exactly one of a, b is negative
+	// (a·4Δ² + b·e = 1 with both terms positive), so after inverting the
+	// negative-exponent operands — both at once via Montgomery's batch-
+	// inversion trick, one ModInverse total — the signature is a single
+	// two-base chain u^|a| · y^|b| with all-positive exponents.
+	sigm := ms.alloc(mc.k)
+	u := ms.alloc(mc.k)
+	if !g.aNeg { // a > 0, b < 0: sig = (num/den)^a · (x⁻¹)^|b|
+		dx := ms.alloc(mc.k)
+		mc.mul(dx, den, xm, ms.t)
+		inv := sc.t.ModInverse(mc.fromMont(ms, &sc.q, dx), g.modulus)
+		if inv == nil {
+			return Signature{}, g.diagnoseCombine(sc, lag, use, set)
+		}
+		im := mc.toMont(ms, inv) // (den·x)⁻¹
+		dinv := ms.alloc(mc.k)
+		mc.mul(dinv, im, xm, ms.t) // den⁻¹
+		xinv := ms.alloc(mc.k)
+		mc.mul(xinv, im, den, ms.t) // x⁻¹
+		mc.mul(u, num, dinv, ms.t)
+		mc.expChain(ms, sigm, [][]big.Word{u, xinv}, []*big.Int{g.aAbs, g.bAbs})
+	} else { // a < 0, b > 0: sig = (den/num)^|a| · x^b
+		inv := sc.t.ModInverse(mc.fromMont(ms, &sc.q, num), g.modulus)
+		if inv == nil {
+			return Signature{}, g.diagnoseCombine(sc, lag, use, set)
+		}
+		im := mc.toMont(ms, inv)
+		mc.mul(u, im, den, ms.t)
+		mc.expChain(ms, sigm, [][]big.Word{u, xm}, []*big.Int{g.aAbs, g.bAbs})
 	}
-	sig := new(big.Int).Mul(powSigned(w, a, g.modulus), powSigned(x, b, g.modulus))
-	sig.Mod(sig, g.modulus)
-	s := Signature{Data: sig.Bytes()}
-	if err := g.Verify(msg, s); err != nil {
+	// Verify in the Montgomery domain without rehashing: sig^e·R vs x·R.
+	chk := ms.alloc(mc.k)
+	mc.expChain(ms, chk, [][]big.Word{sigm}, []*big.Int{g.e})
+	if !limbEq(chk, xm) {
 		return Signature{}, fmt.Errorf("%w: combined signature invalid (corrupt partial among %v)", ErrBadPartial, set)
 	}
-	return s, nil
+	sig := mc.fromMont(ms, &sc.t, sigm)
+	return Signature{Data: sig.Bytes()}, nil
 }
 
-// powSigned computes base^exp mod m for possibly negative exp.
-func powSigned(base, exp, m *big.Int) *big.Int {
+// diagnoseCombine explains a failed inversion during Combine: a partial
+// that is itself non-invertible mod N is reported by name; anything else
+// surfaces as a failed combined signature over the whole co-signer set.
+func (g *rsaGroupKey) diagnoseCombine(sc *combineScratch, lag *lagEntry, use []Partial, set []int) error {
+	for i, p := range use {
+		if new(big.Int).GCD(nil, nil, &sc.xi[i], g.modulus).Cmp(big.NewInt(1)) != 0 {
+			return fmt.Errorf("%w: partial %d not invertible", ErrBadPartial, p.Index)
+		}
+	}
+	return fmt.Errorf("%w: combined signature invalid (corrupt partial among %v)", ErrBadPartial, set)
+}
+
+// powSigned computes base^exp mod m for possibly negative exp. It inverts
+// once, negates the exponent in place for the Exp call (restoring it
+// before returning), and reports an error when base is not invertible —
+// the seed code silently produced 0 there, which made bad inputs
+// indistinguishable from corrupt partials. Combine evaluates its product
+// as a single fraction in Montgomery form instead; this remains the
+// reference implementation for the signed-exponent step and cross-checks
+// the Montgomery chains in tests.
+func powSigned(base, exp, m *big.Int) (*big.Int, error) {
 	if exp.Sign() >= 0 {
-		return new(big.Int).Exp(base, exp, m)
+		return new(big.Int).Exp(base, exp, m), nil
 	}
 	inv := new(big.Int).ModInverse(base, m)
 	if inv == nil {
-		return big.NewInt(0)
+		return nil, fmt.Errorf("thresh: base not invertible modulo N")
 	}
-	return new(big.Int).Exp(inv, new(big.Int).Neg(exp), m)
+	exp.Neg(exp)
+	inv.Exp(inv, exp, m)
+	exp.Neg(exp)
+	return inv, nil
 }
 
 // Verify checks sig^e == H(m) mod N — ordinary RSA verification, exactly
@@ -249,12 +458,21 @@ func (g *rsaGroupKey) Verify(msg []byte, sig Signature) error {
 	if len(sig.Data) == 0 {
 		return ErrBadSignature
 	}
-	s := new(big.Int).SetBytes(sig.Data)
+	sc := scratchPool.Get().(*combineScratch)
+	defer scratchPool.Put(sc)
+	s := sc.t.SetBytes(sig.Data)
 	if s.Cmp(g.modulus) >= 0 {
 		return ErrBadSignature
 	}
-	x := hashToModulus(msg, g.modulus)
-	if new(big.Int).Exp(s, g.e, g.modulus).Cmp(x) != 0 {
+	mc := g.mont
+	ms := &sc.mont
+	ms.reset(mc.k)
+	x := hashToModulusInto(&sc.x, msg, g.modulus)
+	sm := mc.toMont(ms, s)
+	xm := mc.toMont(ms, x)
+	chk := ms.alloc(mc.k)
+	mc.expChain(ms, chk, [][]big.Word{sm}, []*big.Int{g.e})
+	if !limbEq(chk, xm) {
 		return ErrBadSignature
 	}
 	return nil

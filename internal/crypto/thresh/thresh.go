@@ -166,6 +166,11 @@ func (g *simGroupKey) Threshold() int { return g.k }
 func (g *simGroupKey) Players() int   { return g.n }
 func (g *simGroupKey) SigBytes() int  { return g.sigSize }
 
+// Epoch reports the proactive-refresh epoch (see Refresher). A refresh
+// re-derives every share key in place, changing which partials verify, so
+// verification memos must key on it.
+func (g *simGroupKey) Epoch() uint64 { return g.epoch }
+
 // Combine validates each partial against its share key and, given k+1
 // distinct valid ones, emits a signature encoding those partials.
 func (g *simGroupKey) Combine(msg []byte, partials []Partial) (Signature, error) {

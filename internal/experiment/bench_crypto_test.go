@@ -1,0 +1,45 @@
+package experiment
+
+import (
+	"testing"
+
+	"innercircle/internal/crypto/sigcache"
+)
+
+func benchSensorReplica(b *testing.B) {
+	cfg := PaperSensorConfig()
+	cfg.Nodes = 60
+	cfg.SimTime = 120
+	cfg.TargetStart = 10 // three full target windows → ~36 voting rounds
+	cfg.TargetPeriod = 40
+	cfg.TargetDuration = 15
+	cfg.Seed = 7
+	cfg.IC = true
+	cfg.L = 3
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSensor(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSensorReplica measures one full Fig. 8-style IC replica — the
+// per-point unit of work of SensorSweep — with statistical voting (real
+// RSA value signatures and verification) over 60 nodes for 60 virtual
+// seconds. This is the replica-level view of the crypto hot path: value
+// signing, propose/ack verification, and agreed-message flooding. The
+// verification memo runs at its default (on).
+func BenchmarkSensorReplica(b *testing.B) {
+	b.Setenv(sigcache.EnvVar, "")
+	benchSensorReplica(b)
+}
+
+// BenchmarkSensorReplicaMemoOff is the same replica with the
+// verification memo disabled: the A/B pair quantifies the memo's
+// replica-level wall-clock win (tables are identical either way).
+func BenchmarkSensorReplicaMemoOff(b *testing.B) {
+	b.Setenv(sigcache.EnvVar, "off")
+	benchSensorReplica(b)
+}

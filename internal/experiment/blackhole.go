@@ -95,6 +95,12 @@ type BlackholeResult struct {
 	FaultsInjected   uint64
 	FaultsSuppressed uint64
 	FaultsLeaked     uint64
+
+	// VerifiesAvoided counts signature verifications answered from the
+	// replica's shared verification memo (zero with IC off or
+	// IC_CRYPTO_MEMO=off). Pure wall-clock accounting: it feeds no modeled
+	// metric, so every other field is identical with the memo on or off.
+	VerifiesAvoided uint64
 }
 
 // aodvRouting is the Fig. 7 routing component: one AODV router per node,
@@ -264,6 +270,7 @@ func RunBlackhole(cfg BlackholeConfig) (BlackholeResult, error) {
 		out.FaultsSuppressed = res.Counter(scenario.CtrFaultsSuppressed)
 		out.FaultsLeaked = res.Counter(scenario.CtrFaultsLeaked)
 	}
+	out.VerifiesAvoided = res.Counter(scenario.CtrVoteMemoHits)
 	return out, nil
 }
 

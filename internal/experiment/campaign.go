@@ -18,6 +18,11 @@ type CampaignTables struct {
 	Injected   *stats.Table // fault actions taken per run
 	Suppressed *stats.Table // neutralized by the inner circle per run
 	Leaked     *stats.Table // corrupted payloads delivered per run
+	// VerifiesAvoided is diagnostic, not modeled: signature checks served
+	// by the per-replica verification memo. It is the one table allowed to
+	// differ between IC_CRYPTO_MEMO settings (it reads zero with the memo
+	// off); the five modeled tables above must stay byte-identical.
+	VerifiesAvoided *stats.Table
 }
 
 // CampaignSweep runs every (configuration row × campaign × run) replica
@@ -46,6 +51,8 @@ func CampaignSweep(base BlackholeConfig, campaigns []faults.Campaign, levels []i
 		Injected:   stats.NewTable("Campaign sweep: faults injected [#/run]", "config \\ campaign"),
 		Suppressed: stats.NewTable("Campaign sweep: faults suppressed by inner circle [#/run]", "config \\ campaign"),
 		Leaked:     stats.NewTable("Campaign sweep: corrupted payloads leaked [#/run]", "config \\ campaign"),
+		VerifiesAvoided: stats.NewTable(
+			"Campaign sweep: signature verifications avoided by memo [#/run]", "config \\ campaign"),
 	}
 
 	var points []GridPoint[BlackholeConfig]
@@ -82,6 +89,7 @@ func CampaignSweep(base BlackholeConfig, campaigns []faults.Campaign, levels []i
 			t.Injected.Add(row, col, float64(res.FaultsInjected))
 			t.Suppressed.Add(row, col, float64(res.FaultsSuppressed))
 			t.Leaked.Add(row, col, float64(res.FaultsLeaked))
+			t.VerifiesAvoided.Add(row, col, float64(res.VerifiesAvoided))
 		})
 	if err != nil {
 		return nil, err

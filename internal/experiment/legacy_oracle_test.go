@@ -214,6 +214,11 @@ func legacyRunBlackhole(cfg BlackholeConfig) (BlackholeResult, error) {
 			}
 		}
 	}
+	for _, nd := range net.Nodes {
+		if nd.Vote != nil {
+			res.VerifiesAvoided += nd.Vote.Stats.MemoHits
+		}
+	}
 	return res, nil
 }
 

@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"testing"
+
+	"innercircle/internal/crypto/sigcache"
+	"innercircle/internal/faults"
+)
+
+// The signature-verification memo (internal/crypto/sigcache) caches
+// verdicts only; modeled energy and delay are charged per check whether or
+// not the memo answers it. These tests close the loop at the top of the
+// stack: whole sweep tables must come out byte-identical with the memo on
+// (default) and off (IC_CRYPTO_MEMO=off) — only the diagnostic
+// verifications-avoided table may differ, and with the memo on it must
+// actually show avoided work under an IC configuration.
+
+func TestMemoEquivalenceBlackholeSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep comparison")
+	}
+	t.Setenv(sigcache.EnvVar, "off")
+	thrOff, engOff := blackholeSweepStrings(t)
+	t.Setenv(sigcache.EnvVar, "")
+	thrOn, engOn := blackholeSweepStrings(t)
+	if thrOn != thrOff {
+		t.Fatalf("throughput table diverges with memo on/off:\non:\n%s\noff:\n%s", thrOn, thrOff)
+	}
+	if engOn != engOff {
+		t.Fatalf("energy table diverges with memo on/off:\non:\n%s\noff:\n%s", engOn, engOff)
+	}
+}
+
+func campaignSweepTables(t *testing.T) *CampaignTables {
+	t.Helper()
+	base := PaperBlackholeConfig()
+	base.Nodes = 25
+	base.SimTime = 25
+	base.Seed = 79
+	tables, err := CampaignSweep(base, []faults.Campaign{faults.BlackholePreset(2)}, []int{1}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tables
+}
+
+func TestMemoEquivalenceCampaignSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep comparison")
+	}
+	t.Setenv(sigcache.EnvVar, "off")
+	off := campaignSweepTables(t)
+	t.Setenv(sigcache.EnvVar, "")
+	on := campaignSweepTables(t)
+	modeled := []struct {
+		name     string
+		on, off_ string
+	}{
+		{"throughput", on.Throughput.String(), off.Throughput.String()},
+		{"energy", on.Energy.String(), off.Energy.String()},
+		{"injected", on.Injected.String(), off.Injected.String()},
+		{"suppressed", on.Suppressed.String(), off.Suppressed.String()},
+		{"leaked", on.Leaked.String(), off.Leaked.String()},
+	}
+	for _, m := range modeled {
+		if m.on != m.off_ {
+			t.Fatalf("campaign table %q diverges with memo on/off:\non:\n%s\noff:\n%s", m.name, m.on, m.off_)
+		}
+	}
+	// The diagnostic table is the one place the memo is allowed to show:
+	// the off run must read all-zero, the on run must record avoided work
+	// for the IC row (the "No IC" row runs no voting service).
+	if got := off.VerifiesAvoided.String(); got != on.VerifiesAvoided.String() {
+		sum := func(tb *CampaignTables) float64 {
+			var s float64
+			for _, row := range tb.VerifiesAvoided.Rows() {
+				for _, col := range tb.VerifiesAvoided.Cols() {
+					s += tb.VerifiesAvoided.Mean(row, col)
+				}
+			}
+			return s
+		}
+		if sum(off) != 0 {
+			t.Fatalf("memo off but verifications avoided:\n%s", off.VerifiesAvoided.String())
+		}
+		if sum(on) == 0 {
+			t.Fatal("diagnostic tables differ yet memo-on run shows no avoided verifications")
+		}
+		return
+	}
+	// Identical diagnostic tables are only acceptable if both are zero —
+	// meaning this workload performed no repeated verifications at all.
+	for _, row := range on.VerifiesAvoided.Rows() {
+		for _, col := range on.VerifiesAvoided.Cols() {
+			if v := on.VerifiesAvoided.Mean(row, col); v != 0 {
+				t.Fatalf("memo tables identical on/off with nonzero hits — off knob not honored: %s/%s=%g", row, col, v)
+			}
+		}
+	}
+}

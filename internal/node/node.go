@@ -11,6 +11,7 @@ import (
 	mrand "math/rand"
 
 	"innercircle/internal/crypto/nsl"
+	"innercircle/internal/crypto/sigcache"
 	"innercircle/internal/crypto/thresh"
 	"innercircle/internal/energy"
 	"innercircle/internal/icnet"
@@ -78,6 +79,10 @@ type Network struct {
 	Ring    vote.PublicRing
 	Dir     nsl.DirectoryMap
 	RNG     *sim.RNG
+	// Memo is the replica-wide signature-verification memo shared by all
+	// voting services (nil when IC is off or IC_CRYPTO_MEMO=off). The
+	// kernel is single-threaded, so one cache per replica is safe.
+	Memo *sigcache.Cache
 }
 
 // Config describes a deployment to build.
@@ -281,6 +286,7 @@ func Build(cfg Config) (*Network, error) {
 	// Voting services are built in a second pass so callbacks can close
 	// over the fully assembled node.
 	if cfg.IC {
+		net.Memo = sigcache.FromEnv()
 		for i, nd := range net.Nodes {
 			var cbs vote.Callbacks
 			if cfg.Callbacks != nil {
@@ -298,6 +304,7 @@ func Build(cfg Config) (*Network, error) {
 				Dir:    net.Dir,
 				Crypto: cfg.Crypto,
 				Energy: nd.Meter,
+				Memo:   net.Memo,
 			}, cbs)
 			if err != nil {
 				return nil, fmt.Errorf("node %d: vote: %w", i, err)

@@ -20,6 +20,14 @@ const (
 	CtrFaultsSuppressed = "faults_suppressed" // neutralized at the protocol level
 	CtrFaultsLeaked     = "faults_leaked"     // corruption that reached a sink
 
+	// Crypto fast-path accounting (IC replicas only). Hits count signature
+	// verifications answered from the replica's shared verification memo —
+	// each one a modular exponentiation avoided; misses count checks
+	// actually performed. Both stay zero with IC_CRYPTO_MEMO=off, and
+	// neither feeds any modeled metric: they expose the wall-clock win.
+	CtrVoteMemoHits   = "vote_memo_hits"
+	CtrVoteMemoMisses = "vote_memo_misses"
+
 	GaugeThroughputPct  = "throughput_pct"    // received/sent, percent
 	GaugeEnergyPerNodeJ = "energy_per_node_j" // joules over the run
 )

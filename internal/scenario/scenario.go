@@ -356,6 +356,17 @@ func Run(s *Spec) (*Result, error) {
 		res.Gauges.Set(GaugeThroughputPct, 100*float64(env.Sink.Received)/float64(sent))
 	}
 	res.Gauges.Set(GaugeEnergyPerNodeJ, net.TotalEnergy()/float64(s.Nodes))
+	if s.Stack.IC {
+		var hits, misses uint64
+		for _, nd := range net.Nodes {
+			if nd.Vote != nil {
+				hits += nd.Vote.Stats.MemoHits
+				misses += nd.Vote.Stats.MemoMisses
+			}
+		}
+		res.Counters.Add(CtrVoteMemoHits, hits)
+		res.Counters.Add(CtrVoteMemoMisses, misses)
+	}
 	for _, c := range s.Stack.Components {
 		if h, ok := c.(Harvester); ok {
 			h.Harvest(env, res)

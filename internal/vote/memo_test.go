@@ -1,0 +1,95 @@
+package vote
+
+import (
+	"bytes"
+	"testing"
+
+	"innercircle/internal/crypto/sigcache"
+	"innercircle/internal/link"
+)
+
+// runAgreementRound drives one deterministic round over n nodes, with an
+// optional shared verification memo, and returns each node's agreed
+// message plus the summed memo counters.
+func runAgreementRound(t *testing.T, memo *sigcache.Cache) ([]AgreedMsg, uint64, uint64) {
+	t.Helper()
+	agreed := make([]AgreedMsg, 5)
+	net := buildVote(t, 5, detConfig(2), func(i int) Callbacks {
+		return Callbacks{
+			Check:    func(link.NodeID, []byte) bool { return true },
+			OnAgreed: func(a AgreedMsg) { agreed[i] = a },
+		}
+	})
+	for _, svc := range net.svcs {
+		svc.deps.Memo = memo
+	}
+	if err := net.svcs[0].Propose([]byte("route-to-D")); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.k.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	var hits, misses uint64
+	for i, svc := range net.svcs {
+		if err := svc.VerifyAgreed(agreed[i]); err != nil {
+			t.Fatalf("node %d verify: %v", i, err)
+		}
+		hits += svc.Stats.MemoHits
+		misses += svc.Stats.MemoMisses
+	}
+	return agreed, hits, misses
+}
+
+// TestMemoDoesNotChangeOutcomes runs the same round with and without the
+// verification memo: identical agreed messages, and with the memo shared
+// across a replica's nodes the repeated checks of the same flooded
+// signatures must produce hits.
+func TestMemoDoesNotChangeOutcomes(t *testing.T) {
+	plain, hits0, misses0 := runAgreementRound(t, nil)
+	if hits0 != 0 || misses0 != 0 {
+		t.Fatalf("nil memo counted hits=%d misses=%d", hits0, misses0)
+	}
+	memo := sigcache.New(0)
+	cached, hits1, misses1 := runAgreementRound(t, memo)
+	for i := range plain {
+		if plain[i].Center != cached[i].Center || plain[i].Seq != cached[i].Seq ||
+			plain[i].L != cached[i].L || !bytes.Equal(plain[i].Value, cached[i].Value) {
+			t.Fatalf("node %d: memo changed outcome: %+v vs %+v", i, plain[i], cached[i])
+		}
+		if !bytes.Equal(plain[i].Sig.Data, cached[i].Sig.Data) {
+			t.Fatalf("node %d: memo changed signature bytes", i)
+		}
+	}
+	if misses1 == 0 {
+		t.Fatal("memo run performed no real verifications")
+	}
+	if hits1 == 0 {
+		t.Fatal("shared memo saw no repeated verifications in a flooded round")
+	}
+	if memo.Len() == 0 {
+		t.Fatal("memo is empty after the round")
+	}
+}
+
+// TestMemoCachesRejections checks that a failing verdict is memoized too:
+// a tampered agreed message is rejected from the cache on re-check.
+func TestMemoCachesRejections(t *testing.T) {
+	memo := sigcache.New(0)
+	agreed, _, _ := runAgreementRound(t, memo)
+	net := buildVote(t, 5, detConfig(2), func(int) Callbacks { return Callbacks{} })
+	svc := net.svcs[1]
+	svc.deps.Memo = memo
+	bad := agreed[0]
+	bad.Value = append([]byte(nil), bad.Value...)
+	bad.Value[0] ^= 1
+	if err := svc.VerifyAgreed(bad); err == nil {
+		t.Fatal("tampered message verified")
+	}
+	before := svc.Stats.MemoHits
+	if err := svc.VerifyAgreed(bad); err == nil {
+		t.Fatal("tampered message verified from memo")
+	}
+	if svc.Stats.MemoHits != before+1 {
+		t.Fatalf("second rejection not served from memo: hits %d -> %d", before, svc.Stats.MemoHits)
+	}
+}

@@ -2,11 +2,13 @@ package vote
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
 
 	"innercircle/internal/crypto/nsl"
+	"innercircle/internal/crypto/sigcache"
 	"innercircle/internal/crypto/thresh"
 	"innercircle/internal/icnet"
 	"innercircle/internal/link"
@@ -87,6 +89,13 @@ type Deps struct {
 	// may be nil.
 	Crypto CryptoProfile
 	Energy EnergySink
+	// Memo, when non-nil, memoizes verification verdicts (a pure function
+	// of key, message, and signature). It is shared by all nodes of one
+	// replica — an agreed message flooded to m nodes is verified once —
+	// and never crosses replicas. Modeled verification energy and delay
+	// are still charged per node on every check, so experiment tables are
+	// identical with the memo on or off; only wall-clock time changes.
+	Memo *sigcache.Cache
 }
 
 // Stats counts voting activity.
@@ -102,6 +111,12 @@ type Stats struct {
 	// PartialsRejected counts acks the center's leave-one-out combine
 	// identified as corrupt (a Byzantine voter neutralized).
 	PartialsRejected uint64
+	// MemoHits counts signature verifications answered from the shared
+	// verification memo (each one is a modular exponentiation avoided);
+	// MemoMisses counts verifications actually performed and memoized.
+	// Both stay zero when Deps.Memo is nil.
+	MemoHits   uint64
+	MemoMisses uint64
 }
 
 // roundState is the center's per-round bookkeeping.
@@ -384,7 +399,7 @@ func (s *Service) verifyStatPropose(m ProposeMsg) bool {
 			if err != nil {
 				return false
 			}
-			if nsl.Verify(pk, valueDigest(m.Center, m.Seq, sv.Voter, sv.Value), sv.Sig) != nil {
+			if s.verifyNSL(pk, valueDigest(m.Center, m.Seq, sv.Voter, sv.Value), sv.Sig) != nil {
 				return false
 			}
 		}
@@ -500,7 +515,7 @@ func (s *Service) onValue(from link.NodeID, m ValueMsg) {
 	if err != nil {
 		return
 	}
-	if nsl.Verify(pk, valueDigest(m.Center, m.Seq, m.Voter, m.Value), m.Sig) != nil {
+	if s.verifyNSL(pk, valueDigest(m.Center, m.Seq, m.Voter, m.Value), m.Sig) != nil {
 		if s.deps.Susp != nil {
 			s.deps.Susp.SuspectTemporary(m.Voter, "bad signature on value message")
 		}
@@ -560,7 +575,7 @@ func (s *Service) onAck(from link.NodeID, m AckMsg) {
 	// liar permanently suspected. Threshold RSA lacks this capability and
 	// relies on tryComplete's leave-one-out fallback instead.
 	if pv, ok := s.deps.Ring[s.cfg.L].(thresh.PartialVerifier); ok {
-		if !pv.VerifyPartial(digest(s.deps.ID, r.seq, s.cfg.L, r.value), m.Partial) {
+		if !s.verifyPartial(pv, digest(s.deps.ID, r.seq, s.cfg.L, r.value), m.Partial) {
 			s.Stats.PartialsRejected++
 			if s.deps.Susp != nil {
 				s.deps.Susp.SuspectPermanent(m.Voter, "corrupt partial signature")
@@ -725,7 +740,75 @@ func (s *Service) VerifyAgreed(m AgreedMsg) error {
 	if !ok {
 		return fmt.Errorf("%w: L=%d", ErrNoLevelKey, m.L)
 	}
-	return gk.Verify(digest(m.Center, m.Seq, m.L, m.Value), m.Sig)
+	dig := digest(m.Center, m.Seq, m.L, m.Value)
+	memo := s.deps.Memo
+	if memo == nil {
+		return gk.Verify(dig, m.Sig)
+	}
+	k := sigcache.Key{Kind: sigcache.KindThresh, Scope: gk, Epoch: keyEpoch(gk), Sum: sigcache.HashParts(dig, m.Sig.Data)}
+	if e, ok := memo.Get(k); ok {
+		s.Stats.MemoHits++
+		return e.Err
+	}
+	s.Stats.MemoMisses++
+	err := gk.Verify(dig, m.Sig)
+	memo.Put(k, sigcache.Entry{Err: err})
+	return err
+}
+
+// verifyNSL checks an individual RSA signature through the verification
+// memo (when configured).
+func (s *Service) verifyNSL(pk nsl.PublicKey, dig, sig []byte) error {
+	memo := s.deps.Memo
+	if memo == nil {
+		return nsl.Verify(pk, dig, sig)
+	}
+	k := sigcache.Key{Kind: sigcache.KindNSL, Scope: pk, Sum: sigcache.HashParts(dig, sig)}
+	if e, ok := memo.Get(k); ok {
+		s.Stats.MemoHits++
+		return e.Err
+	}
+	s.Stats.MemoMisses++
+	err := nsl.Verify(pk, dig, sig)
+	memo.Put(k, sigcache.Entry{Err: err})
+	return err
+}
+
+// errBadPartialMemo is the memoized verdict for a rejected partial.
+var errBadPartialMemo = errors.New("vote: partial rejected")
+
+// verifyPartial checks one partial signature through the verification
+// memo. The partial's share index participates in the key: two voters'
+// partials over the same digest are distinct verifications.
+func (s *Service) verifyPartial(pv thresh.PartialVerifier, dig []byte, p thresh.Partial) bool {
+	memo := s.deps.Memo
+	if memo == nil {
+		return pv.VerifyPartial(dig, p)
+	}
+	var idx [4]byte
+	binary.BigEndian.PutUint32(idx[:], uint32(p.Index))
+	k := sigcache.Key{Kind: sigcache.KindPartial, Scope: pv, Epoch: keyEpoch(pv), Sum: sigcache.HashParts(dig, p.Data, idx[:])}
+	if e, ok := memo.Get(k); ok {
+		s.Stats.MemoHits++
+		return e.Err == nil
+	}
+	s.Stats.MemoMisses++
+	ok := pv.VerifyPartial(dig, p)
+	e := sigcache.Entry{}
+	if !ok {
+		e.Err = errBadPartialMemo
+	}
+	memo.Put(k, e)
+	return ok
+}
+
+// keyEpoch reads the optional proactive-refresh epoch of a group key, so
+// memo entries die with the share epoch that produced them.
+func keyEpoch(gk any) uint64 {
+	if e, ok := gk.(interface{ Epoch() uint64 }); ok {
+		return e.Epoch()
+	}
+	return 0
 }
 
 // VerifierFor adapts the service into an interceptor signature check: it
