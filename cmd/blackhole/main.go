@@ -30,10 +30,14 @@ func run() error {
 		step    = flag.Int("step", 2, "malicious-node count step")
 		gray    = flag.Float64("gray", 0, "gray-hole probability (0 = classic black holes)")
 		quick   = flag.Bool("quick", false, "reduced sweep for a fast preview")
-		quiet = flag.Bool("quiet", false, "suppress per-run progress")
-		prof  = cliutil.AddProfileFlags(flag.CommandLine)
+		quiet   = flag.Bool("quiet", false, "suppress per-run progress")
+		prof    = cliutil.AddProfileFlags(flag.CommandLine)
 	)
+	applyShards := cliutil.AddShardsFlag(flag.CommandLine)
 	flag.Parse()
+	if err := applyShards(); err != nil {
+		return err
+	}
 
 	stop, err := prof.Start()
 	if err != nil {

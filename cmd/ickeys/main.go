@@ -30,7 +30,11 @@ func run() error {
 		refresh = flag.Bool("refresh", false, "demonstrate proactive share refresh after signing")
 		prof    = cliutil.AddProfileFlags(flag.CommandLine)
 	)
+	applyShards := cliutil.AddShardsFlag(flag.CommandLine)
 	flag.Parse()
+	if err := applyShards(); err != nil {
+		return err
+	}
 
 	stop, err := prof.Start()
 	if err != nil {

@@ -33,7 +33,11 @@ func run() error {
 		quiet     = flag.Bool("quiet", false, "suppress per-run progress")
 		prof      = cliutil.AddProfileFlags(flag.CommandLine)
 	)
+	applyShards := cliutil.AddShardsFlag(flag.CommandLine)
 	flag.Parse()
+	if err := applyShards(); err != nil {
+		return err
+	}
 
 	stop, err := prof.Start()
 	if err != nil {

@@ -92,6 +92,27 @@ func writeHeapProfile(path string) error {
 	return f.Close()
 }
 
+// AddShardsFlag registers the shared -shards flag on fs and returns an
+// apply function to call once fs is parsed, before any replica runs. The
+// flag routes through the IC_SHARDS environment knob — the scenario
+// runner's only configuration channel — so tools need no direct coupling
+// to the sharded kernel: 0 (the default) leaves IC_SHARDS untouched,
+// anything else overrides it for this process. Tools whose work never
+// reaches the event kernel (ickeys) still accept the flag as a harmless
+// no-op, keeping the cmd/ flag surface uniform.
+func AddShardsFlag(fs *flag.FlagSet) (apply func() error) {
+	n := fs.Int("shards", 0, "partition each replica across N event-kernel shards (0 = honor IC_SHARDS env)")
+	return func() error {
+		if *n < 0 {
+			return fmt.Errorf("-shards %d: shard count cannot be negative", *n)
+		}
+		if *n == 0 {
+			return nil
+		}
+		return os.Setenv("IC_SHARDS", strconv.Itoa(*n))
+	}
+}
+
 // SplitCSV splits a comma-separated flag value, trimming whitespace and
 // dropping empty elements; an empty input yields nil.
 func SplitCSV(s string) []string {

@@ -83,3 +83,41 @@ func TestParseLevels(t *testing.T) {
 		}
 	}
 }
+
+func TestAddShardsFlag(t *testing.T) {
+	t.Setenv("IC_SHARDS", "2") // restore after; also pins the no-override case
+
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	apply := AddShardsFlag(fs)
+	if err := fs.Parse([]string{"-shards", "8"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := apply(); err != nil {
+		t.Fatal(err)
+	}
+	if got := os.Getenv("IC_SHARDS"); got != "8" {
+		t.Fatalf("IC_SHARDS = %q after -shards 8", got)
+	}
+
+	t.Setenv("IC_SHARDS", "2")
+	fs = flag.NewFlagSet("t", flag.ContinueOnError)
+	apply = AddShardsFlag(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := apply(); err != nil {
+		t.Fatal(err)
+	}
+	if got := os.Getenv("IC_SHARDS"); got != "2" {
+		t.Fatalf("default -shards clobbered IC_SHARDS: %q", got)
+	}
+
+	fs = flag.NewFlagSet("t", flag.ContinueOnError)
+	apply = AddShardsFlag(fs)
+	if err := fs.Parse([]string{"-shards=-1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := apply(); err == nil {
+		t.Error("negative shard count accepted")
+	}
+}

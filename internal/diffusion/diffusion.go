@@ -100,7 +100,7 @@ type Service struct {
 	sinkID      link.NodeID
 
 	dataSeq   uint64
-	seenData  map[dataKey]bool
+	seenData  map[dataKey]bool // keys packed by packDataKey
 	onDeliver func(src link.NodeID, hops int, payload link.Message)
 
 	// Stats exposes counters to the experiment harness.
@@ -186,7 +186,7 @@ func (s *Service) Send(payload link.Message) error {
 		Src: s.deps.ID, Sink: s.sinkID, Via: s.parent, Seq: s.dataSeq, Payload: payload, Hops: 1,
 	}
 	// Never re-forward copies of our own flood echoed back by neighbours.
-	s.seenData[dataKey{src: s.deps.ID, seq: s.dataSeq}] = true
+	s.seenData[packDataKey(s.deps.ID, s.dataSeq)] = true
 	return s.transmit(m)
 }
 
@@ -199,10 +199,19 @@ func (s *Service) transmit(m DataMsg) error {
 	return s.deps.Link.SendRaw(m.Via, m)
 }
 
-// dataKey identifies a data message for flood deduplication.
-type dataKey struct {
-	src link.NodeID
-	seq uint64
+// dataKey identifies a data message for flood deduplication. It packs
+// (source, sequence) into one word so the per-reception seen-map lookup
+// hashes and compares 8 bytes instead of 16 — this map is probed on
+// every flooded data frame every node hears, one of the hottest lines of
+// a large replica. 24 bits of source and 40 bits of sequence are loudly
+// enforced; no modeled deployment approaches either bound.
+type dataKey uint64
+
+func packDataKey(src link.NodeID, seq uint64) dataKey {
+	if uint64(src) >= 1<<24 || seq >= 1<<40 {
+		panic("diffusion: data key out of packing range")
+	}
+	return dataKey(uint64(src)<<40 | seq)
 }
 
 // HandleEnv processes diffusion traffic; it reports whether the envelope
@@ -272,7 +281,7 @@ func (s *Service) onData(_ link.NodeID, m DataMsg) {
 // onFloodData handles exploratory-flood dissemination: deliver at the
 // sink, rebroadcast exactly once elsewhere.
 func (s *Service) onFloodData(m DataMsg) {
-	key := dataKey{src: m.Src, seq: m.Seq}
+	key := packDataKey(m.Src, m.Seq)
 	if s.seenData[key] {
 		return
 	}

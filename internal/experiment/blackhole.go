@@ -51,7 +51,12 @@ type BlackholeConfig struct {
 	Campaign *faults.Campaign
 	IC       bool
 	L        int
-	Seed     int64
+	// Shards requests a partitioned replica (scenario.Spec.Shards). The
+	// blackhole scenario always falls back to one shard — random-waypoint
+	// mobility, CBR traffic and fault campaigns each rule sharding out —
+	// so the knob only pins that the fallback is result-identical.
+	Shards int
+	Seed   int64
 	// Tracer, when non-nil, taps all wire traffic (slower; for debugging
 	// and the icsim tool). A tracer belongs to exactly one replica: the
 	// sweep entry points reject a config carrying one, because their
@@ -205,6 +210,7 @@ func blackholeSpec(cfg BlackholeConfig) *scenario.Spec {
 		Nodes:   cfg.Nodes,
 		Seed:    cfg.Seed,
 		SimTime: cfg.SimTime,
+		Shards:  cfg.Shards,
 		Topology: scenario.RandomWaypoint{
 			Region:   geo.Square(cfg.Region),
 			MinSpeed: cfg.Speed,

@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"io"
+	"math"
 	"sync"
 
 	"innercircle/internal/diffusion"
@@ -52,7 +53,10 @@ type SensorConfig struct {
 	// default jittered grid. Uniform deployments have thin patches, which
 	// matters for the weak-signal miss-alarm results (§5.2).
 	UniformPlacement bool
-	Seed             int64
+	// Shards partitions the replica across parallel kernels (see
+	// scenario.Spec.Shards); 0 defers to IC_SHARDS.
+	Shards int
+	Seed   int64
 }
 
 // FusionAlg selects the fault-tolerant fusion used by statistical voting.
@@ -87,6 +91,29 @@ func PaperSensorConfig() SensorConfig {
 		L:              3,
 		Eta:            5,
 	}
+}
+
+// ScaledSensorConfig returns a density-preserving enlargement of the
+// Fig. 8 deployment for scaling studies: the region grows with √nodes so
+// the per-cell population (and hence MAC contention) matches the paper's
+// 100-node field at any size. The detection threshold is raised well past
+// the Neyman-Pearson working point to keep the false-alarm flood rate
+// sub-critical at large populations, the run is short, and IC is off —
+// per-node RSA key material for 10⁵ nodes is not a cost the scaling
+// question needs.
+func ScaledSensorConfig(nodes int) SensorConfig {
+	cfg := PaperSensorConfig()
+	cfg.Nodes = nodes
+	cfg.Region = 200 * math.Sqrt(float64(nodes)/100)
+	cfg.IC = false
+	cfg.Lambda = 16
+	cfg.SimTime = 30
+	cfg.TargetStart = 10
+	cfg.TargetPeriod = 50
+	cfg.TargetDuration = 15
+	cfg.Faulty = 0
+	cfg.Fault = sensor.FaultNone
+	return cfg
 }
 
 // SensorResult is the outcome of one run.
@@ -197,6 +224,19 @@ func newSensorNet(cfg SensorConfig) *sensorNet {
 	}
 }
 
+// Reset implements scenario.Resetter: a sharded attempt that aborts on a
+// timestamp tie is rerun on one kernel with the same component values, so
+// every piece of replica state accumulated by the abandoned attempt —
+// target schedule, app array, base-station log — must be dropped first.
+func (sc *sensorNet) Reset() {
+	n := len(sc.apps)
+	sc.targets = nil
+	sc.apps = make([]*sensorApp, n)
+	sc.baseDiff = nil
+	sc.notifs = nil
+	sc.perTarget = make(map[int][]baseNotif)
+}
+
 // Validate implements scenario.Validator: the population floor and the
 // parameter gaps that would wedge the run (a non-positive sense period
 // stalls the epoch chain; a non-positive target period loops target
@@ -287,7 +327,10 @@ func (sc *sensorNet) Attach(env *scenario.Env, nd *node.Node) {
 func (sc *sensorNet) attachBase(env *scenario.Env, baseNode *node.Node, ds *diffusion.Service) {
 	c := &sc.cfg
 	ds.OnDeliver(func(src link.NodeID, hops int, payload link.Message) {
-		now := env.K().Now()
+		// The base station's own kernel, not env.K(): under sharding the
+		// delivery upcall runs on the base's home shard, whose clock is the
+		// only one this callback may read.
+		now := baseNode.K.Now()
 		var n sensor.Notification
 		switch m := payload.(type) {
 		case notifMsg:
@@ -346,18 +389,30 @@ func (sc *sensorNet) activeTarget(at sim.Time) *geo.Point {
 }
 
 // Start implements scenario.Starter: bring up the base station's interest
-// flooding shortly after t=0.
+// flooding shortly after t=0, on the base station's own kernel (its home
+// shard's when the replica is partitioned).
 func (sc *sensorNet) Start(env *scenario.Env) {
-	env.K().MustSchedule(0.1, func() { sc.baseDiff.Start() })
+	sc.apps[0].nd.K.MustSchedule(0.1, func() { sc.baseDiff.Start() })
 }
 
 // onEpoch runs one synchronized sensing epoch across all sensors (the
-// traffic program's epoch trigger).
+// traffic program's epoch trigger on a single-kernel replica).
 func (sc *sensorNet) onEpoch(epoch int64, now sim.Time) {
 	tpos := sc.activeTarget(now)
 	for i := 1; i < len(sc.apps); i++ {
 		sc.apps[i].sense(epoch, tpos)
 	}
+}
+
+// onEpochNode is the per-node epoch hook for partitioned replicas: the
+// same sensing work as onEpoch, issued by each node's home shard. The
+// target schedule is immutable during the run, so concurrent reads from
+// every shard are safe.
+func (sc *sensorNet) onEpochNode(epoch int64, now sim.Time, node int) {
+	if node == 0 {
+		return // the base station does not sense
+	}
+	sc.apps[node].sense(epoch, sc.activeTarget(now))
 }
 
 // Harvest implements scenario.Harvester: fold the base station's log into
@@ -428,6 +483,11 @@ type deviceFaults struct {
 // traffic program reserves).
 func (d deviceFaults) Budget(int) (int, error) { return 0, nil }
 
+// ShardSafeAdversary implements scenario.ShardSafe: Apply only flips
+// pre-run flags on sensing devices, and a faulty device's runtime effects
+// stay on its own node's kernel.
+func (d deviceFaults) ShardSafeAdversary() {}
+
 // Apply implements scenario.Adversary.
 func (d deviceFaults) Apply(env *scenario.Env, _ []int) (scenario.Harvester, error) {
 	c := &d.sc.cfg
@@ -466,6 +526,7 @@ func sensorSpec(cfg SensorConfig) (*scenario.Spec, error) {
 		Nodes:   cfg.Nodes,
 		Seed:    cfg.Seed,
 		SimTime: cfg.SimTime,
+		Shards:  cfg.Shards,
 		Topology: scenario.BaseStationGrid{
 			Region:     geo.Square(cfg.Region),
 			GridJitter: cfg.Region / 50,
@@ -486,7 +547,7 @@ func sensorSpec(cfg SensorConfig) (*scenario.Spec, error) {
 			STSStart:   scenario.STSStart{Jitter: 2},
 			Components: []scenario.Component{sc},
 		},
-		Traffic: &traffic.Epochs{Period: cfg.SensePeriod, OnEpoch: sc.onEpoch},
+		Traffic: &traffic.Epochs{Period: cfg.SensePeriod, OnEpoch: sc.onEpoch, OnNode: sc.onEpochNode},
 	}
 	if cfg.Fault != sensor.FaultNone {
 		spec.Adversary = deviceFaults{sc: sc}

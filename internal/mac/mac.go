@@ -105,6 +105,12 @@ type MAC struct {
 	params Params
 	addr   Addr
 
+	// border marks a node within one transmission range of a shard-stripe
+	// boundary on a sharded channel: its transmission events must be
+	// tx-flagged so the shard's horizon accounts for them (see
+	// sim.Kernel.ScheduleFireTx). Always false unsharded.
+	border bool
+
 	queue    []*txJob
 	cur      *txJob
 	cw       int
@@ -112,7 +118,6 @@ type MAC struct {
 	nextSeq  uint32
 	ackTimer *sim.Timer
 	lastSeq  map[Addr]uint32
-	haveSeq  map[Addr]bool
 
 	// Hoisted callbacks for the kernel's fire-and-forget fast path: backoff
 	// expiry and post-broadcast dequeue events are never cancelled, and
@@ -137,7 +142,6 @@ func New(k *sim.Kernel, ch *radio.Channel, pos mobility.Model, meter *energy.Met
 		params:  params,
 		cw:      params.CWMin,
 		lastSeq: make(map[Addr]uint32),
-		haveSeq: make(map[Addr]bool),
 	}
 	m.tr = ch.Attach(pos, meter, m.radioRecv)
 	m.addr = Addr(m.tr.ID())
@@ -163,6 +167,14 @@ func (m *MAC) Addr() Addr { return m.addr }
 // Transceiver returns the underlying radio, for tests and for modelling
 // node crashes.
 func (m *MAC) Transceiver() *radio.Transceiver { return m.tr }
+
+// MarkBorder declares this MAC a border node on a sharded channel. Every
+// event that can put a frame on the air (backoff expiry, ACK turnaround)
+// is then scheduled through the kernel's tx-flagged path, which feeds the
+// shard's transmission horizon. The two delays involved — DIFS plus
+// backoff, and SIFS — are both at least the shard lookahead min(SIFS, DIFS),
+// which is what makes conservative synchronization sound.
+func (m *MAC) MarkBorder() { m.border = true }
 
 // OnRecv registers the upcall for received packets.
 func (m *MAC) OnRecv(fn func(Packet)) { m.onRecv = fn }
@@ -221,7 +233,7 @@ func (m *MAC) startNext() {
 // is clear, otherwise backs off again with a doubled window.
 func (m *MAC) contend() {
 	backoff := m.params.DIFS + sim.Duration(m.rng.Intn(m.cw+1))*m.params.SlotTime
-	m.k.ScheduleFire(backoff, m.backoffExpired)
+	m.k.ScheduleFireTx(backoff, m.backoffExpired, m.border)
 }
 
 func (m *MAC) growCW() {
@@ -298,12 +310,13 @@ func (m *MAC) radioRecv(rf radio.Frame, _ radio.ID) {
 		}
 		if f.dst == m.addr {
 			m.sendAck(f)
-			// Suppress duplicates caused by lost ACKs.
-			if m.haveSeq[f.src] && m.lastSeq[f.src] == f.seq {
+			// Suppress duplicates caused by lost ACKs. Presence in the
+			// map is the "have seen this sender" bit — one lookup on the
+			// per-frame hot path.
+			if last, ok := m.lastSeq[f.src]; ok && last == f.seq {
 				m.Stats.Duplicates++
 				return
 			}
-			m.haveSeq[f.src] = true
 			m.lastSeq[f.src] = f.seq
 		}
 		if m.onRecv != nil {
@@ -314,10 +327,10 @@ func (m *MAC) radioRecv(rf radio.Frame, _ radio.ID) {
 
 func (m *MAC) sendAck(f frame) {
 	ack := frame{kind: frameAck, src: m.addr, dst: f.src, seq: f.seq}
-	m.k.ScheduleFire(m.params.SIFS, func() {
+	m.k.ScheduleFireTx(m.params.SIFS, func() {
 		air := m.params.AckBytes + m.params.HeaderBytes
 		if err := m.ch.Send(m.tr, radio.Frame{Bytes: air, Payload: ack}); err == nil {
 			m.Stats.AcksSent++
 		}
-	})
+	}, m.border)
 }

@@ -14,6 +14,7 @@ import (
 	"innercircle/internal/crypto/sigcache"
 	"innercircle/internal/crypto/thresh"
 	"innercircle/internal/energy"
+	"innercircle/internal/geo"
 	"innercircle/internal/icnet"
 	"innercircle/internal/link"
 	"innercircle/internal/mac"
@@ -79,10 +80,17 @@ type Network struct {
 	Ring    vote.PublicRing
 	Dir     nsl.DirectoryMap
 	RNG     *sim.RNG
-	// Memo is the replica-wide signature-verification memo shared by all
-	// voting services (nil when IC is off or IC_CRYPTO_MEMO=off). The
-	// kernel is single-threaded, so one cache per replica is safe.
-	Memo *sigcache.Cache
+	// Set is the shard set driving a partitioned deployment (nil when the
+	// network runs on a single kernel). K is then shard 0's kernel; every
+	// node's K is its home shard's.
+	Set *sim.ShardSet
+	// Memo is the signature-verification memo shared by all voting services
+	// on the same kernel (nil when IC is off or IC_CRYPTO_MEMO=off). Under
+	// sharding each shard gets its own memo (Memos[i]; Memo aliases shard
+	// 0's): the cache is unsynchronized, and since it only memoizes a pure
+	// function, per-shard caches cannot change results.
+	Memo  *sigcache.Cache
+	Memos []*sigcache.Cache
 }
 
 // Config describes a deployment to build.
@@ -127,6 +135,22 @@ type Config struct {
 	Callbacks func(n *Node) vote.Callbacks
 	// TempSuspicion is the temporary-suspicion duration. Default 120 s.
 	TempSuspicion sim.Duration
+	// Shards partitions the deployment across that many kernels run under
+	// conservative-lookahead synchronization (sim.ShardSet). 0 or 1 builds
+	// the plain single-kernel network. Sharding requires static mobility
+	// for every node and no Tracer (the tracer's tap is a single ordered
+	// stream; interleaving it across shards would serialize them).
+	Shards int
+	// ShardOf maps a node's static position to its home shard in
+	// [0, Shards); required when Shards > 1. Cross-shard radio traffic is
+	// only sound between adjacent shard indices, so the mapping must be a
+	// stripe partition at least one radio range wide per stripe (see
+	// scenario.StripePartition).
+	ShardOf func(geo.Point) int
+	// ShardBorder reports whether a position lies within one radio range
+	// of a stripe boundary; required when Shards > 1.
+	ShardBorder func(geo.Point) bool
+
 	// Tracer, when non-nil, taps every node's link traffic.
 	Tracer *trace.Tracer
 	// Crypto models signing/verification latency and energy (zero value:
@@ -181,13 +205,45 @@ func Build(cfg Config) (*Network, error) {
 		cfg.SigWireBytes = 128
 	}
 
-	k := sim.NewKernel()
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	var set *sim.ShardSet
+	var k *sim.Kernel
+	var ch *radio.Channel
+	if shards > 1 {
+		if cfg.ShardOf == nil || cfg.ShardBorder == nil {
+			return nil, fmt.Errorf("node: Shards=%d requires ShardOf and ShardBorder", shards)
+		}
+		if cfg.Tracer != nil {
+			return nil, fmt.Errorf("node: tracing and sharding are mutually exclusive")
+		}
+		// The lookahead is the physical bound on how soon a transmission
+		// can follow the event that decides to make it: every path to
+		// radio.Send waits at least SIFS (ACK turnaround) or DIFS+backoff
+		// (contention) first.
+		lookahead := cfg.MAC.SIFS
+		if cfg.MAC.DIFS < lookahead {
+			lookahead = cfg.MAC.DIFS
+		}
+		if lookahead <= 0 {
+			return nil, fmt.Errorf("node: sharding requires positive SIFS and DIFS (lookahead bound)")
+		}
+		set = sim.NewShardSet(shards, lookahead)
+		k = set.Kernel(0)
+		ch = radio.NewChannelSharded(set, cfg.Radio, func(p geo.Point) (int, bool) {
+			return cfg.ShardOf(p), cfg.ShardBorder(p)
+		})
+	} else {
+		k = sim.NewKernel()
+		ch = radio.NewChannel(k, cfg.Radio)
+	}
 	rng := sim.NewRNG(cfg.Seed)
-	ch := radio.NewChannel(k, cfg.Radio)
 	if cfg.Tracer != nil {
 		cfg.Tracer.SetClock(k.Now)
 	}
-	net := &Network{K: k, Channel: ch, RNG: rng, Dir: nsl.DirectoryMap{}}
+	net := &Network{K: k, Channel: ch, RNG: rng, Set: set, Dir: nsl.DirectoryMap{}}
 
 	needRSA := cfg.STS.Handshake || (cfg.IC && cfg.Vote.Mode == vote.Statistical)
 	keys := cfg.Keys
@@ -230,7 +286,18 @@ func Build(cfg Config) (*Network, error) {
 		nodeRNG := rng.SplitN("node", i)
 		mob := cfg.Mobility(i, nodeRNG.Split("mobility"))
 		meter := energy.NewMeter(cfg.Energy)
-		m := mac.New(k, ch, mob, meter, nodeRNG.Split("mac"), cfg.MAC)
+		nk := k
+		if set != nil {
+			s, ok := mob.(mobility.Static)
+			if !ok {
+				return nil, fmt.Errorf("node %d: sharding requires static mobility, got %T", i, mob)
+			}
+			nk = set.Kernel(cfg.ShardOf(geo.Point(s)))
+		}
+		m := mac.New(nk, ch, mob, meter, nodeRNG.Split("mac"), cfg.MAC)
+		if set != nil && m.Transceiver().Border() {
+			m.MarkBorder()
+		}
 		l := link.NewService(m)
 		if cfg.Tracer != nil {
 			cfg.Tracer.Attach(l)
@@ -238,7 +305,7 @@ func Build(cfg Config) (*Network, error) {
 		nd := &Node{
 			ID:    l.ID(),
 			Index: i,
-			K:     k,
+			K:     nk,
 			MAC:   m,
 			Link:  l,
 			Meter: meter,
@@ -250,7 +317,7 @@ func Build(cfg Config) (*Network, error) {
 		}
 
 		if cfg.IC {
-			nd.Susp = icnet.NewSuspicionManager(k, cfg.TempSuspicion)
+			nd.Susp = icnet.NewSuspicionManager(nk, cfg.TempSuspicion)
 			nd.Intercept = icnet.NewInterceptor(nd.Susp)
 			l.AddFilter(nd.Intercept)
 		}
@@ -258,7 +325,7 @@ func Build(cfg Config) (*Network, error) {
 		if cfg.STS.Period > 0 {
 			stsDeps := sts.Deps{
 				ID:   nd.ID,
-				K:    k,
+				K:    nk,
 				Link: l,
 				RNG:  nodeRNG.Split("sts"),
 			}
@@ -286,15 +353,23 @@ func Build(cfg Config) (*Network, error) {
 	// Voting services are built in a second pass so callbacks can close
 	// over the fully assembled node.
 	if cfg.IC {
-		net.Memo = sigcache.FromEnv()
+		net.Memos = make([]*sigcache.Cache, shards)
+		for s := range net.Memos {
+			net.Memos[s] = sigcache.FromEnv()
+		}
+		net.Memo = net.Memos[0]
 		for i, nd := range net.Nodes {
 			var cbs vote.Callbacks
 			if cfg.Callbacks != nil {
 				cbs = cfg.Callbacks(nd)
 			}
+			memo := net.Memo
+			if set != nil {
+				memo = net.Memos[cfg.ShardOf(geo.Point(nd.Mob.(mobility.Static)))]
+			}
 			vs, err := vote.New(cfg.Vote, vote.Deps{
 				ID:     nd.ID,
-				K:      k,
+				K:      nd.K,
 				Link:   nd.Link,
 				Topo:   nd.STS,
 				Ring:   net.Ring,
@@ -304,7 +379,7 @@ func Build(cfg Config) (*Network, error) {
 				Dir:    net.Dir,
 				Crypto: cfg.Crypto,
 				Energy: nd.Meter,
-				Memo:   net.Memo,
+				Memo:   memo,
 			}, cbs)
 			if err != nil {
 				return nil, fmt.Errorf("node %d: vote: %w", i, err)
@@ -333,13 +408,27 @@ func (net *Network) StartSTSJittered(rng *sim.RNG, window sim.Duration) {
 	for _, nd := range net.Nodes {
 		if nd.STS != nil {
 			svc := nd.STS
-			net.K.MustSchedule(rng.Jitter(window), svc.Start)
+			// Jitter values are drawn in node order from the shared stream
+			// regardless of sharding, so the schedule is shard-invariant;
+			// each start runs on its node's home kernel.
+			nd.K.MustSchedule(rng.Jitter(window), svc.Start)
 		}
 	}
 }
 
-// Run drives the simulation to the given virtual time.
-func (net *Network) Run(until sim.Time) error { return net.K.Run(until) }
+// Run drives the simulation to the given virtual time. Under sharding the
+// whole set runs; per-shard channel counters are folded into Channel.Stats
+// once the run completes so harvest code sees whole-channel totals.
+func (net *Network) Run(until sim.Time) error {
+	if net.Set != nil {
+		if err := net.Set.Run(until); err != nil {
+			return err
+		}
+		net.Channel.MergeShardStats()
+		return nil
+	}
+	return net.K.Run(until)
+}
 
 // TotalEnergy returns the summed energy consumption of all nodes at the
 // current virtual time, in joules.

@@ -78,6 +78,12 @@ type Transceiver struct {
 	// Spatial-index bin (see grid.go).
 	binKey cellKey
 	inGrid bool
+
+	// Sharded-channel placement (see shard.go): the index of the shard that
+	// owns this transceiver's events, and whether it sits within one
+	// transmission range of a stripe boundary.
+	owner  int32
+	border bool
 }
 
 // ID returns the transceiver's channel-local identifier.
@@ -118,6 +124,13 @@ type Channel struct {
 	finishFn func(any)
 	// arrPool recycles resolved arrival structs.
 	arrPool []*arrival
+
+	// Sharded operation (see shard.go): when shardCtx is non-nil the channel
+	// is partitioned across the kernels of set, ownerOf maps a static
+	// position to its home shard, and Send takes the sharded path.
+	set      *sim.ShardSet
+	ownerOf  func(geo.Point) (shard int, border bool)
+	shardCtx []*chanShard
 
 	// Stats counts physical-layer activity for the whole channel.
 	Stats Stats
@@ -188,6 +201,9 @@ func (c *Channel) Attach(pos mobility.Model, meter *energy.Meter, recv func(Fram
 	if c.grid != nil {
 		c.grid.add(tr)
 	}
+	if c.shardCtx != nil {
+		c.attachSharded(tr)
+	}
 	return tr
 }
 
@@ -215,7 +231,7 @@ func (c *Channel) TxDuration(bytes int) sim.Duration {
 // Busy reports whether tr senses the channel busy: it is transmitting, or a
 // signal from a node in range is currently arriving.
 func (c *Channel) Busy(tr *Transceiver) bool {
-	now := c.k.Now()
+	now := c.kernelFor(tr).Now()
 	if tr.txUntil > now {
 		return true
 	}
@@ -231,6 +247,9 @@ func (c *Channel) Busy(tr *Transceiver) bool {
 // in-range receiver resolves when the frame's airtime ends. Send does not
 // carrier-sense; that is the MAC's job.
 func (c *Channel) Send(tr *Transceiver, f Frame) error {
+	if c.shardCtx != nil {
+		return c.sendSharded(tr, f)
+	}
 	now := c.k.Now()
 	if tr.down {
 		return nil // a dead radio silently drops
@@ -382,12 +401,12 @@ func (c *Channel) finish(r *Transceiver, arr *arrival) {
 // InRange reports whether transceivers a and b are currently within
 // transmission range; used by topology-oracle test helpers.
 func (c *Channel) InRange(a, b *Transceiver) bool {
-	now := c.k.Now()
+	now := c.kernelFor(a).Now()
 	return c.posAt(a, now).Dist(c.posAt(b, now)) <= c.params.Range
 }
 
 // Pos returns tr's current position.
-func (c *Channel) Pos(tr *Transceiver) geo.Point { return c.posAt(tr, c.k.Now()) }
+func (c *Channel) Pos(tr *Transceiver) geo.Point { return c.posAt(tr, c.kernelFor(tr).Now()) }
 
 // Params returns the channel's physical-layer parameters.
 func (c *Channel) Params() Params { return c.params }

@@ -40,6 +40,11 @@ type Result struct {
 	Name     string
 	Counters *stats.Counters
 	Gauges   *stats.Gauges
+	// Shards is the shard count the replica actually executed with: 1 for
+	// a plain run, a silent fallback, or a tie-triggered rerun. It is
+	// diagnostic only — by the determinism contract it never influences
+	// any counter or gauge — so it lives outside the metric containers.
+	Shards int
 }
 
 // Counter returns a counter's value (0 if the run never touched it).

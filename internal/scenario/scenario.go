@@ -23,6 +23,7 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 
 	"innercircle/internal/energy"
@@ -50,6 +51,17 @@ type Spec struct {
 	Nodes   int
 	Seed    int64
 	SimTime sim.Time
+
+	// Shards requests a partitioned replica (conservative-lookahead
+	// parallel kernels; see sim.ShardSet). 0 defers to the IC_SHARDS
+	// environment knob; 0 or 1 runs the plain single-kernel replica. The
+	// runner silently falls back to one shard when the replica shape rules
+	// sharding out (mobile topology, tracer, non-shard-capable traffic or
+	// adversary, deployment narrower than two grid columns), and reruns
+	// the replica unsharded when an ambiguous cross-shard timestamp tie
+	// trips sim.ErrShardTie — results are identical at every shard count
+	// either way.
+	Shards int
 
 	Topology  Topology
 	Stack     Stack
@@ -135,6 +147,15 @@ type Harvester interface {
 // gaps) before anything is built.
 type Validator interface {
 	Validate(s *Spec) error
+}
+
+// Resetter components drop all replica state at the start of each run
+// attempt. A component holding harvest state across hooks must implement
+// it if its Spec can run sharded: a sim.ErrShardTie abort reruns the same
+// Spec — and the same component values — on a single kernel, and state
+// from the abandoned attempt must not leak into the rerun.
+type Resetter interface {
+	Reset()
 }
 
 // Env is the replica context the runner threads through every hook.
@@ -239,14 +260,44 @@ func (s *Spec) Validate() error {
 // voting pass), wire, attach, plan traffic, apply the adversary, start
 // the topology services, run component starters, start the traffic plan,
 // drive the kernel, harvest.
+//
+// When the replica runs sharded and two shards produce bit-identical
+// event timestamps — an ordering the conservative protocol cannot resolve
+// against the sequential reference — the run fails with sim.ErrShardTie
+// and is rerun on a single kernel, whose result is returned. Sharding
+// therefore never changes results, only wall-clock time.
 func Run(s *Spec) (*Result, error) {
+	shards := effectiveShards(s)
+	res, err := runOnce(s, shards)
+	if shards > 1 && errors.Is(err, sim.ErrShardTie) {
+		return runOnce(s, 1)
+	}
+	return res, err
+}
+
+// runOnce executes one replica attempt at the given shard count.
+func runOnce(s *Spec, shards int) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
+	}
+	for _, c := range s.Stack.Components {
+		if r, ok := c.(Resetter); ok {
+			r.Reset()
+		}
 	}
 	seed := sim.NewRNG(s.Seed)
 	positions := s.Topology.Place(s.Nodes, seed.Split("placement"))
 	if len(positions) != s.Nodes {
 		return nil, fmt.Errorf("scenario %q: topology placed %d nodes, want %d", s.Name, len(positions), s.Nodes)
+	}
+	var shardOf func(geo.Point) int
+	var shardBorder func(geo.Point) bool
+	if shards > 1 {
+		if !staticTopology(s, positions, seed) {
+			shards = 1
+		} else {
+			shardOf, shardBorder, shards = StripePartition(positions, s.Stack.Radio.Range, shards)
+		}
 	}
 	env := &Env{Spec: s, Positions: positions, seed: seed}
 
@@ -272,6 +323,9 @@ func Run(s *Spec) (*Result, error) {
 		Keys:         s.Stack.Keys,
 		SigWireBytes: s.Stack.SigWireBytes,
 		Tracer:       s.Stack.Tracer,
+		Shards:       shards,
+		ShardOf:      shardOf,
+		ShardBorder:  shardBorder,
 	}
 	if s.Stack.IC && registrar != nil {
 		ncfg.Callbacks = func(nd *node.Node) vote.Callbacks {
@@ -303,13 +357,18 @@ func Run(s *Spec) (*Result, error) {
 	var plan traffic.Plan
 	var order []int
 	if s.Traffic != nil {
-		plan, err = s.Traffic.Plan(traffic.Deps{
+		tdeps := traffic.Deps{
 			K:       net.K,
 			RNG:     seed.Split("traffic"),
 			N:       s.Nodes,
 			End:     s.SimTime,
 			Unicast: env.unicast,
-		})
+		}
+		if net.Set != nil {
+			tdeps.Set = net.Set
+			tdeps.NodeShard = func(i int) int { return shardOf(positions[i]) }
+		}
+		plan, err = s.Traffic.Plan(tdeps)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
 		}
@@ -344,7 +403,7 @@ func Run(s *Spec) (*Result, error) {
 		return nil, fmt.Errorf("scenario %q: run: %w", s.Name, err)
 	}
 
-	res := &Result{Name: s.Name, Counters: stats.NewCounters(), Gauges: stats.NewGauges()}
+	res := &Result{Name: s.Name, Counters: stats.NewCounters(), Gauges: stats.NewGauges(), Shards: shards}
 	sent := 0
 	if sender, ok := plan.(traffic.Sender); ok {
 		sent = sender.Sent()

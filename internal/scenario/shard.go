@@ -1,0 +1,118 @@
+package scenario
+
+import (
+	"math"
+	"os"
+	"strconv"
+
+	"innercircle/internal/geo"
+	"innercircle/internal/mobility"
+	"innercircle/internal/sim"
+)
+
+// ShardSafe marks adversaries whose Apply only mutates pre-run, per-node
+// state (e.g. injecting measurement faults into sensing devices) and whose
+// runtime effects stay on each node's home kernel. Adversaries without the
+// marker — fault campaigns tap links and schedule kernel events of their
+// own — force the replica back to a single shard.
+type ShardSafe interface {
+	ShardSafeAdversary()
+}
+
+// StripePartition divides a static deployment into vertical stripes of
+// radio-grid cell columns, one contiguous run of columns per shard. The
+// column width equals the radio range, so every stripe is at least one
+// range wide: cross-stripe transmissions only ever reach the adjacent
+// stripe (the shard set's neighbor topology), and any node that can hear
+// across a boundary is within one range of it.
+//
+// It returns the owner and border classifiers plus the effective shard
+// count, clamped to the number of occupied columns (a deployment narrower
+// than two columns cannot be partitioned and yields shards == 1 with nil
+// classifiers).
+func StripePartition(positions []geo.Point, rangeM float64, shards int) (ownerOf func(geo.Point) int, borderOf func(geo.Point) bool, effective int) {
+	if rangeM <= 0 || len(positions) == 0 || shards < 2 {
+		return nil, nil, 1
+	}
+	minX, maxX := positions[0].X, positions[0].X
+	for _, p := range positions[1:] {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+	}
+	cmin := int(math.Floor(minX / rangeM))
+	cmax := int(math.Floor(maxX / rangeM))
+	cols := cmax - cmin + 1
+	if shards > cols {
+		shards = cols
+	}
+	if shards < 2 {
+		return nil, nil, 1
+	}
+	ownerOf = func(p geo.Point) int {
+		col := int(math.Floor(p.X / rangeM))
+		if col < cmin {
+			col = cmin
+		}
+		if col > cmax {
+			col = cmax
+		}
+		// Distribute columns evenly; consecutive columns map to the same or
+		// the next shard, so in-range traffic (|Δcol| <= 1) never skips a
+		// shard.
+		return (col - cmin) * shards / cols
+	}
+	borderOf = func(p geo.Point) bool {
+		own := ownerOf(p)
+		return ownerOf(geo.Point{X: p.X - rangeM, Y: p.Y}) != own ||
+			ownerOf(geo.Point{X: p.X + rangeM, Y: p.Y}) != own
+	}
+	return ownerOf, borderOf, shards
+}
+
+// effectiveShards resolves the shard count a replica will attempt: the
+// Spec's explicit Shards, else the IC_SHARDS environment knob, else 1 —
+// then dropped back to 1 for replica shapes sharding cannot carry (a
+// tracer's single ordered tap, a non-shard-capable traffic program, an
+// adversary without the ShardSafe marker). Topology and geometry checks
+// need the placed positions and happen later, in runOnce.
+func effectiveShards(s *Spec) int {
+	n := s.Shards
+	if n == 0 {
+		if v := os.Getenv("IC_SHARDS"); v != "" {
+			if parsed, err := strconv.Atoi(v); err == nil && parsed > 0 {
+				n = parsed
+			}
+		}
+	}
+	if n < 2 {
+		return 1
+	}
+	if s.Stack.Tracer != nil {
+		return 1
+	}
+	if s.Traffic != nil {
+		sc, ok := s.Traffic.(interface{ ShardCapable() bool })
+		if !ok || !sc.ShardCapable() {
+			return 1
+		}
+	}
+	if s.Adversary != nil {
+		if _, ok := s.Adversary.(ShardSafe); !ok {
+			return 1
+		}
+	}
+	return n
+}
+
+// staticTopology probes whether the topology yields static mobility. The
+// probe model is built from a throwaway pure split, so it perturbs no
+// replica stream.
+func staticTopology(s *Spec, positions []geo.Point, seed *sim.RNG) bool {
+	probe := s.Topology.Model(0, positions[0], seed.Split("shard-probe"))
+	_, ok := probe.(mobility.Static)
+	return ok
+}

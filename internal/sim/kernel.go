@@ -6,7 +6,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -49,43 +48,81 @@ type event struct {
 	arg    any
 	index  int // heap index
 	cancel bool
+	// tx marks a transmission-capable event of a border node on a sharded
+	// kernel (ScheduleFireTx): its timestamp participates in the shard's
+	// horizon and its callback is the only place cross-shard messages may be
+	// posted from. Never set on unsharded kernels.
+	tx bool
 }
 
-// eventHeap orders events by (time, sequence).
+// eventHeap orders events by (time, sequence). It is a hand-rolled
+// binary heap rather than container/heap: the comparison is on the
+// kernel's hottest path, and going through container/heap's interface
+// costs an uninlinable Less/Swap call per level. (at, seq) is a strict
+// total order — seq is unique — so the pop sequence is identical to any
+// correct heap's; only the constant factor changes.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether a sorts strictly before b.
+func (a *event) before(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// push inserts ev, sifting it up with a hole instead of pairwise swaps.
+func (h *eventHeap) push(ev *event) {
+	q := append(*h, ev)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := q[parent]
+		if p.before(ev) {
+			break
+		}
+		q[i] = p
+		p.index = i
+		i = parent
+	}
+	q[i] = ev
+	ev.index = i
+	*h = q
 }
 
-func (h *eventHeap) Push(x any) {
-	// Unchecked assertion: only the kernel pushes here, and pushing a
-	// non-*event is a programming error worth crashing on (fail-loud, like
-	// MustSchedule) rather than silently dropping the event.
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() *event {
+	q := *h
+	top := q[0]
+	top.index = -1
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	q = q[:n]
+	*h = q
+	if n == 0 {
+		return top
+	}
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		child := q[c]
+		if r := c + 1; r < n && q[r].before(child) {
+			c, child = r, q[r]
+		}
+		if last.before(child) {
+			break
+		}
+		q[i] = child
+		child.index = i
+		i = c
+	}
+	q[i] = last
+	last.index = i
+	return top
 }
 
 // ErrPastEvent is returned when an event is scheduled before the current
@@ -112,9 +149,30 @@ type Kernel struct {
 
 	// pool is a free list of event structs recycled on pop. A simulation
 	// schedules millions of short-lived events; recycling them keeps the
-	// event loop allocation-free at steady state.
+	// event loop allocation-free at steady state. It is capped at
+	// maxEventPool entries so one burst (a flood wave in a 100k-node field)
+	// does not pin peak event memory for the rest of the run.
 	pool []*event
+
+	// shard is non-nil when this kernel is one region of a ShardSet; see
+	// shard.go. Unsharded kernels leave every shard-related field untouched,
+	// keeping the single-kernel path byte-identical to the pre-shard code.
+	shard *Shard
+	// inTx is true while a tx-flagged event's callback is executing; it is
+	// the lookahead-contract gate for ShardSet.Post.
+	inTx bool
+	// lastLocalAt is the timestamp of the most recent locally scheduled
+	// (non-message) event executed. A cross-shard message landing on the
+	// same timestamp is an ambiguous tie — the sequential kernel would order
+	// the two by global sequence numbers a parallel run cannot reconstruct —
+	// so the executors trip ErrShardTie on it (see shard.go).
+	lastLocalAt Time
 }
+
+// maxEventPool bounds the event free list. 1<<14 structs (~1.5 MB at 96 B
+// each) comfortably covers steady-state churn of the densest sweeps while
+// letting burst allocations be reclaimed by the collector.
+const maxEventPool = 1 << 14
 
 // getEvent returns a zeroed event from the free list (or a fresh one) with
 // its timestamp and sequence number assigned.
@@ -134,15 +192,18 @@ func (k *Kernel) getEvent(at Time) *event {
 }
 
 // putEvent clears ev (so recycled events retain no closures or arguments)
-// and returns it to the free list.
+// and returns it to the free list, unless the list is already at capacity.
 func (k *Kernel) putEvent(ev *event) {
+	if len(k.pool) >= maxEventPool {
+		return
+	}
 	*ev = event{}
 	k.pool = append(k.pool, ev)
 }
 
 // NewKernel returns a kernel with the clock at time zero.
 func NewKernel() *Kernel {
-	return &Kernel{byID: make(map[EventID]*event)}
+	return &Kernel{byID: make(map[EventID]*event), lastLocalAt: -1}
 }
 
 // Now returns the current virtual time.
@@ -169,7 +230,7 @@ func (k *Kernel) ScheduleAt(at Time, fn func()) (EventID, error) {
 	k.nextID++
 	ev.id = k.nextID
 	ev.fn = fn
-	heap.Push(&k.queue, ev)
+	k.queue.push(ev)
 	k.byID[ev.id] = ev
 	return ev.id, nil
 }
@@ -185,7 +246,7 @@ func (k *Kernel) ScheduleFire(delay Duration, fn func()) {
 	}
 	ev := k.getEvent(k.now + delay)
 	ev.fn = fn
-	heap.Push(&k.queue, ev)
+	k.queue.push(ev)
 }
 
 // ScheduleFireArg is ScheduleFire for callbacks taking one argument. Hot
@@ -199,7 +260,63 @@ func (k *Kernel) ScheduleFireArg(delay Duration, fn func(any), arg any) {
 	ev := k.getEvent(k.now + delay)
 	ev.fnArg = fn
 	ev.arg = arg
-	heap.Push(&k.queue, ev)
+	k.queue.push(ev)
+}
+
+// ScheduleFireTx is ScheduleFire for transmission-capable events — the MAC
+// uses it for every event whose callback may hand a frame to the radio. On
+// an unsharded kernel, or for a node that is not on a shard border, it is
+// exactly ScheduleFire. For a border node on a sharded kernel it additionally
+// enters the event's timestamp into the shard's border horizon (the earliest
+// time this shard could emit cross-shard traffic) and enforces the lookahead
+// contract: scheduling a transmission closer than the shard set's lookahead
+// would invalidate horizons already promised to neighbor shards, so it
+// panics loudly instead of corrupting the parallel run.
+func (k *Kernel) ScheduleFireTx(delay Duration, fn func(), border bool) {
+	if k.shard == nil || !border {
+		k.ScheduleFire(delay, fn)
+		return
+	}
+	if delay < k.shard.set.lookahead {
+		panic(fmt.Sprintf("sim: ScheduleFireTx: transmission scheduled %v ahead of %v, below the lookahead bound %v (lookahead contract)",
+			delay, k.now, k.shard.set.lookahead))
+	}
+	ev := k.getEvent(k.now + delay)
+	ev.fn = fn
+	ev.tx = true
+	k.queue.push(ev)
+	k.shard.pushBorder(ev.at)
+}
+
+// scheduleMsg enqueues a cross-shard message as an event with an
+// externally supplied sequence number (msgSeqBit | source shard | source
+// sequence, see shard.go). The high bit makes message events order after
+// every locally scheduled event with the same timestamp, and the source
+// fields make the merge order independent of goroutine scheduling.
+func (k *Kernel) scheduleMsg(at Time, seq uint64, fn func(any), arg any) {
+	if at < k.now {
+		// The conservative bound guarantees a shard never advances past a
+		// message it has yet to receive; arriving here means the lookahead
+		// contract was violated upstream.
+		panic(fmt.Sprintf("sim: cross-shard message at %v arrived behind the shard clock %v", at, k.now))
+	}
+	ev := k.getEvent(at)
+	ev.seq = seq
+	ev.fnArg = fn
+	ev.arg = arg
+	k.queue.push(ev)
+}
+
+// peekLive returns the next non-cancelled event without executing it, or nil
+// when the queue is empty. Cancelled events encountered on top are retired.
+func (k *Kernel) peekLive() *event {
+	for len(k.queue) > 0 && k.queue[0].cancel {
+		k.putEvent(k.queue.pop())
+	}
+	if len(k.queue) == 0 {
+		return nil
+	}
+	return k.queue[0]
 }
 
 // MustSchedule is Schedule for callers that control delay and know it is
@@ -232,8 +349,17 @@ func (k *Kernel) Cancel(id EventID) bool {
 // the cancellation index.
 func (k *Kernel) Pending() int { return len(k.byID) }
 
-// Stop makes Run return after the currently executing event.
-func (k *Kernel) Stop() { k.stopped = true }
+// Stop makes Run return after the currently executing event. On a sharded
+// kernel it stops the whole shard set: one region halting while its
+// neighbors keep exchanging horizon promises would deadlock them, so Stop
+// is an all-or-nothing operation under sharding (see ShardSet.Stop).
+func (k *Kernel) Stop() {
+	if k.shard != nil {
+		k.shard.set.Stop()
+		return
+	}
+	k.stopped = true
+}
 
 // Step executes the next pending event, advancing the clock to its
 // timestamp. It reports false when the queue is empty.
@@ -242,7 +368,7 @@ func (k *Kernel) Step() bool {
 		// Unchecked assertion: the heap holds only *event values, so a
 		// mismatch is a programmer error that must crash, not silently end
 		// the run (matching MustSchedule's fail-loud policy).
-		ev := heap.Pop(&k.queue).(*event)
+		ev := k.queue.pop()
 		if ev.cancel {
 			k.putEvent(ev)
 			continue
@@ -254,12 +380,24 @@ func (k *Kernel) Step() bool {
 		k.processed++
 		// Copy the callback out before recycling: the callback itself may
 		// schedule new events and reuse this struct.
-		fn, fnArg, arg := ev.fn, ev.fnArg, ev.arg
+		fn, fnArg, arg, tx := ev.fn, ev.fnArg, ev.arg, ev.tx
+		if ev.seq < msgSeqBit {
+			k.lastLocalAt = k.now
+		}
 		k.putEvent(ev)
+		if tx {
+			// A border transmission fires: retire its horizon entry and open
+			// the cross-shard posting window for the callback.
+			k.shard.popBorder(k.now)
+			k.inTx = true
+		}
 		if fnArg != nil {
 			fnArg(arg)
 		} else {
 			fn()
+		}
+		if tx {
+			k.inTx = false
 		}
 		return true
 	}
@@ -277,7 +415,7 @@ func (k *Kernel) Run(until Time) error {
 			return fmt.Errorf("sim: event limit %d reached at %v", k.limit, k.now)
 		}
 		for len(k.queue) > 0 && k.queue[0].cancel {
-			k.putEvent(heap.Pop(&k.queue).(*event))
+			k.putEvent(k.queue.pop())
 		}
 		if len(k.queue) == 0 {
 			break

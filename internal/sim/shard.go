@@ -1,0 +1,608 @@
+package sim
+
+// Conservative parallel simulation: the world is partitioned into S regions
+// (shards), each with its own Kernel, synchronized Chandy–Misra–Bryant
+// style. A shard may only execute events strictly earlier than the minimum
+// horizon its neighbor shards have promised; horizons are derived from the
+// physical lookahead of the radio model — a transmission can only be
+// scheduled at least `lookahead` (the minimum MAC turnaround, min(SIFS,
+// DIFS)) after the event that decides to send it. Cross-shard transmissions
+// become timestamped messages posted into the receiving shard's inbox, and
+// horizon updates double as null messages: a shard with nothing to send
+// still publishes how far its clock could possibly produce traffic, which
+// is what keeps the ring of shards deadlock-free.
+//
+// Determinism contract. Results must be identical at any shard count, so
+// every source of nondeterminism is pinned:
+//
+//   - Message events carry the sequence key msgSeqBit | srcShard<<48 |
+//     srcSeq. The existing (time, seq) heap comparator then orders them
+//     after all locally scheduled events at the same timestamp, and between
+//     themselves by (source shard, source posting order) — both independent
+//     of goroutine scheduling.
+//   - A shard never executes a message event at a timestamp at which it has
+//     itself executed a transmission event: under the sequential kernel the
+//     relative order of those two would be decided by global sequence
+//     numbers that a parallel run cannot reconstruct, so the run fails with
+//     ErrShardTie and the caller re-runs the replica on a single kernel.
+//     Ties of this kind need two border nodes to schedule transmissions at
+//     bit-identical float timestamps, which jittered protocol timers make
+//     rare; the tripwire makes them safe instead of silently divergent.
+//   - Per-node RNG streams are split by name from the experiment seed
+//     (rng.SplitN), so a node draws the same sequence regardless of which
+//     kernel hosts it.
+//
+// Two executors drive the same shard structures. The threaded executor runs
+// one goroutine per shard with atomic horizon publication and a shared
+// condition variable for blocking — that is the scaling path on multi-core
+// hosts. The sequential executor interleaves all shards on one goroutine in
+// global (time, shard) order; it exists because conservative synchronization
+// buys nothing at GOMAXPROCS=1, while the sharded radio's per-region
+// candidate iteration still does (see radio.sendSharded). Both executors
+// produce identical results; IC_SHARD_EXEC=seq|par pins the choice for
+// tests and race checks.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrShardTie reports an ambiguous cross-shard timestamp tie: a message
+// event and a local transmission event landed on the same timestamp in the
+// same shard, so the parallel run cannot reproduce the sequential event
+// order. The caller should re-run the replica with a single shard; the
+// decision is deterministic, so the same seed and shard count always either
+// trip or complete.
+var ErrShardTie = errors.New("sim: ambiguous cross-shard timestamp tie")
+
+// msgSeqBit distinguishes cross-shard message events from locally scheduled
+// ones in the sequence key; see the package comment above.
+const msgSeqBit uint64 = 1 << 63
+
+// msgSrcShift positions the source shard index in the sequence key, leaving
+// 48 bits for the per-sender posting sequence.
+const msgSrcShift = 48
+
+// xmsg is one cross-shard message waiting in a shard's inbox.
+type xmsg struct {
+	at  Time
+	src uint16
+	seq uint64
+	fn  func(any)
+	arg any
+}
+
+// Shard is one region's kernel plus its synchronization state.
+type Shard struct {
+	set *ShardSet
+	idx int
+	k   *Kernel
+
+	// inbox holds posted messages until the shard drains them into its event
+	// queue; mail flags a non-empty inbox so the hot loop can skip the lock.
+	inMu    sync.Mutex
+	inbox   []xmsg
+	scratch []xmsg
+	mail    atomic.Bool
+	postSeq uint64
+
+	// horizon is the published promise (as float64 bits): this shard will
+	// not post any message with a timestamp below it. Monotone by
+	// construction.
+	horizon atomic.Uint64
+
+	// borderQ is a min-heap of the timestamps of pending tx-flagged events —
+	// the exact times at which this shard could emit cross-shard traffic.
+	borderQ []Time
+
+	// snap holds the neighbor-horizon snapshot for the current iteration;
+	// taking it before draining the inbox is what makes the published
+	// horizon safe (see publish).
+	snap []Time
+
+	neighbors []*Shard
+}
+
+// Kernel returns the shard's event kernel.
+func (sh *Shard) Kernel() *Kernel { return sh.k }
+
+// Index returns the shard's index within its set.
+func (sh *Shard) Index() int { return sh.idx }
+
+func (sh *Shard) pushBorder(at Time) {
+	q := append(sh.borderQ, at)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if q[p] <= q[i] {
+			break
+		}
+		q[p], q[i] = q[i], q[p]
+		i = p
+	}
+	sh.borderQ = q
+}
+
+// popBorder retires the earliest border timestamp, which must be the one
+// firing now: events execute in non-decreasing time order, so a tx event
+// reaching the front of the event queue is also at the front of borderQ.
+func (sh *Shard) popBorder(at Time) {
+	q := sh.borderQ
+	if len(q) == 0 || q[0] != at {
+		panic(fmt.Sprintf("sim: border horizon out of step: firing %v, queue head %v", at, q))
+	}
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && q[l] < q[m] {
+			m = l
+		}
+		if r < n && q[r] < q[m] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	sh.borderQ = q
+}
+
+func (sh *Shard) loadHorizon() Time {
+	return Time(math.Float64frombits(sh.horizon.Load()))
+}
+
+func (sh *Shard) storeHorizon(t Time) {
+	sh.horizon.Store(math.Float64bits(float64(t)))
+}
+
+// drain moves inbox messages into the event queue. Encoded sequence keys
+// make the resulting heap order independent of the real-time order in which
+// senders appended to the inbox.
+func (sh *Shard) drain() {
+	if !sh.mail.Load() {
+		return
+	}
+	sh.inMu.Lock()
+	msgs := sh.inbox
+	sh.inbox = sh.scratch[:0]
+	sh.mail.Store(false)
+	sh.inMu.Unlock()
+	for i := range msgs {
+		m := &msgs[i]
+		sh.k.scheduleMsg(m.at, msgSeqBit|uint64(m.src)<<msgSrcShift|m.seq, m.fn, m.arg)
+		msgs[i] = xmsg{}
+	}
+	sh.scratch = msgs
+}
+
+// snapshot records each neighbor's published horizon. It must run before
+// drain: a message posted after the snapshot provably carries a timestamp
+// no earlier than the snapshotted horizon of its sender (a sender's horizon
+// never exceeds its next possible transmission time), which is exactly the
+// bound publish folds in.
+func (sh *Shard) snapshot() {
+	for i, nb := range sh.neighbors {
+		sh.snap[i] = nb.loadHorizon()
+	}
+}
+
+// bound returns the minimum snapshotted neighbor horizon: the time up to
+// which it is safe to execute local events (exclusive for message events).
+func (sh *Shard) bound() Time {
+	b := Never
+	for _, t := range sh.snap {
+		if t < b {
+			b = t
+		}
+	}
+	return b
+}
+
+// publish recomputes and publishes this shard's horizon:
+//
+//	h = min(earliest pending tx event,
+//	        next local event + lookahead,
+//	        min snapshotted neighbor horizon + lookahead)
+//
+// The first term is exact. The second covers transmissions that pending
+// events may yet schedule (always at least lookahead ahead of the event
+// that schedules them). The third covers transmissions caused by messages
+// this shard has not received yet: any future message arrives no earlier
+// than its sender's snapshotted horizon, and can only cause transmissions
+// at least lookahead later. The result is monotone, so the stored horizon
+// never retreats.
+func (sh *Shard) publish() {
+	h := Never
+	if len(sh.borderQ) > 0 {
+		h = sh.borderQ[0]
+	}
+	la := sh.set.lookahead
+	if ev := sh.k.peekLive(); ev != nil {
+		if t := ev.at + la; t < h {
+			h = t
+		}
+	}
+	for _, t := range sh.snap {
+		if t+la < h {
+			h = t + la
+		}
+	}
+	if h > sh.loadHorizon() {
+		sh.storeHorizon(h)
+		sh.set.notify()
+	}
+}
+
+// ShardSet is a partition of one simulation across S kernels. Build the
+// set, pin every node's events to its home shard's kernel, then Run.
+type ShardSet struct {
+	shards    []*Shard
+	lookahead Duration
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	waiters atomic.Int32
+	gen     atomic.Uint64
+
+	stopped atomic.Bool
+	errMu   sync.Mutex
+	err     error
+
+	// limit, when non-zero, aborts Run after this many events summed across
+	// all shards; processed is the shared counter it is checked against.
+	// Per-kernel Processed/SetEventLimit remain per-shard accounting.
+	limit     uint64
+	processed atomic.Uint64
+
+	// mailGen changes whenever any shard is posted a message; the sequential
+	// executor uses it to skip inbox scans between posts.
+	mailGen atomic.Uint64
+}
+
+// NewShardSet returns n shards with fresh kernels. lookahead is the minimum
+// delay between an event executing and the earliest transmission it can
+// schedule — for the 802.11-style MAC, min(SIFS, DIFS). It must be positive
+// when n > 1: with zero lookahead no shard could ever promise its neighbors
+// a horizon ahead of its own clock, and the set would deadlock.
+func NewShardSet(n int, lookahead Duration) *ShardSet {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: NewShardSet: need at least one shard, got %d", n))
+	}
+	if n > 1 && lookahead <= 0 {
+		panic(fmt.Sprintf("sim: NewShardSet: lookahead must be positive with %d shards, got %v", n, lookahead))
+	}
+	s := &ShardSet{lookahead: lookahead}
+	s.cond = sync.NewCond(&s.mu)
+	s.shards = make([]*Shard, n)
+	for i := range s.shards {
+		k := NewKernel()
+		sh := &Shard{set: s, idx: i, k: k}
+		if n > 1 {
+			// A single-shard set is a thin wrapper over one sequential
+			// kernel; leaving the kernel unsharded keeps ScheduleFireTx,
+			// Stop, and Run on the exact pre-shard code path.
+			k.shard = sh
+		}
+		s.shards[i] = sh
+	}
+	// Stripe partitions only border their immediate neighbors, but the
+	// horizon algebra is topology-agnostic: declare adjacency as i±1.
+	for i, sh := range s.shards {
+		if i > 0 {
+			sh.neighbors = append(sh.neighbors, s.shards[i-1])
+		}
+		if i < n-1 {
+			sh.neighbors = append(sh.neighbors, s.shards[i+1])
+		}
+		sh.snap = make([]Time, len(sh.neighbors))
+	}
+	return s
+}
+
+// Shards returns the number of shards in the set.
+func (s *ShardSet) Shards() int { return len(s.shards) }
+
+// Kernel returns shard i's kernel.
+func (s *ShardSet) Kernel(i int) *Kernel { return s.shards[i].k }
+
+// Lookahead returns the set's lookahead bound.
+func (s *ShardSet) Lookahead() Duration { return s.lookahead }
+
+// SetEventLimit sets an aggregate backstop: Run fails after n events summed
+// across all shards. n == 0 disables the limit. Per-kernel limits
+// (Kernel.SetEventLimit) stay per-shard and are honored too.
+func (s *ShardSet) SetEventLimit(n uint64) { s.limit = n }
+
+// Processed reports the total number of events executed across all shards.
+func (s *ShardSet) Processed() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		n += sh.k.processed
+	}
+	return n
+}
+
+// Stop makes Run return after the events currently executing. Like
+// Kernel.Stop it is not an error: Run returns nil.
+func (s *ShardSet) Stop() {
+	if len(s.shards) == 1 {
+		s.shards[0].k.stopped = true
+		return
+	}
+	s.stopped.Store(true)
+	s.notify()
+}
+
+// Post delivers a cross-shard message: fn(arg) will execute on shard dst's
+// kernel at virtual time at, ordered deterministically against everything
+// else that shard executes. Post may only be called from inside a
+// tx-flagged event (ScheduleFireTx) on a kernel of this set — the lookahead
+// contract under which the horizon promises hold — and panics otherwise.
+func (s *ShardSet) Post(from *Kernel, dst int, at Time, fn func(any), arg any) {
+	sh := from.shard
+	if sh == nil || sh.set != s {
+		panic("sim: Post from a kernel outside this shard set")
+	}
+	if !from.inTx {
+		panic("sim: cross-shard message posted outside a transmission event (lookahead contract)")
+	}
+	if at < from.now {
+		panic(fmt.Sprintf("sim: cross-shard message at %v posted behind the clock %v", at, from.now))
+	}
+	if d := dst - sh.idx; d != 1 && d != -1 {
+		// Horizons only bind adjacent shards; a post skipping a stripe would
+		// arrive unsynchronized. The stripe partition makes this impossible
+		// (stripe width >= radio range), so reaching here is a partition bug.
+		panic(fmt.Sprintf("sim: cross-shard message from shard %d to non-adjacent shard %d", sh.idx, dst))
+	}
+	sh.postSeq++
+	d := s.shards[dst]
+	d.inMu.Lock()
+	d.inbox = append(d.inbox, xmsg{at: at, src: uint16(sh.idx), seq: sh.postSeq, fn: fn, arg: arg})
+	d.inMu.Unlock()
+	d.mail.Store(true)
+	s.mailGen.Add(1)
+	s.notify()
+}
+
+// notify wakes blocked shards after any state they may be waiting on
+// (horizons, inboxes, stop) has changed.
+func (s *ShardSet) notify() {
+	s.gen.Add(1)
+	if s.waiters.Load() > 0 {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// sleep blocks until notify is called after genSeen was read. The generation
+// check closes the lost-wakeup window between deciding to sleep and
+// acquiring the lock.
+func (s *ShardSet) sleep(genSeen uint64) {
+	s.mu.Lock()
+	s.waiters.Add(1)
+	if s.gen.Load() == genSeen && !s.stopped.Load() {
+		s.cond.Wait()
+	}
+	s.waiters.Add(-1)
+	s.mu.Unlock()
+}
+
+// fail records the first error, stops every shard, and wakes them.
+func (s *ShardSet) fail(err error) {
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.errMu.Unlock()
+	s.stopped.Store(true)
+	s.notify()
+}
+
+func (s *ShardSet) failure() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+// countEvent applies the per-kernel and aggregate event limits after one
+// event executed on sh; it reports whether the run should continue.
+func (s *ShardSet) countEvent(sh *Shard) bool {
+	k := sh.k
+	if k.limit > 0 && k.processed >= k.limit {
+		s.fail(fmt.Errorf("sim: event limit %d reached at %v (shard %d)", k.limit, k.now, sh.idx))
+		return false
+	}
+	if s.limit > 0 && s.processed.Add(1) >= s.limit {
+		s.fail(fmt.Errorf("sim: aggregate event limit %d reached at %v (shard %d)", s.limit, k.now, sh.idx))
+		return false
+	}
+	return true
+}
+
+// Run executes all shards until each has drained its events up to until (the
+// clocks are then advanced to until, mirroring Kernel.Run), Stop is called,
+// a limit trips, or an ambiguous timestamp tie is detected (ErrShardTie).
+// With one shard it is exactly Kernel.Run. The executor is chosen by
+// IC_SHARD_EXEC (seq|par); unset, it is threaded when GOMAXPROCS > 1 and
+// sequential otherwise, where the parallel protocol's synchronization buys
+// nothing.
+func (s *ShardSet) Run(until Time) error {
+	s.stopped.Store(false)
+	s.errMu.Lock()
+	s.err = nil
+	s.errMu.Unlock()
+	if len(s.shards) == 1 {
+		return s.shards[0].k.Run(until)
+	}
+	par := runtime.GOMAXPROCS(0) > 1
+	switch os.Getenv("IC_SHARD_EXEC") {
+	case "seq":
+		par = false
+	case "par":
+		par = true
+	}
+	if !par {
+		return s.runSeq(until)
+	}
+	var wg sync.WaitGroup
+	for _, sh := range s.shards {
+		wg.Add(1)
+		go func(sh *Shard) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					s.fail(fmt.Errorf("sim: shard %d panicked: %v\n%s", sh.idx, r, debug.Stack()))
+				}
+			}()
+			sh.runPar(until)
+		}(sh)
+	}
+	wg.Wait()
+	return s.failure()
+}
+
+// runPar is the threaded executor's per-shard loop.
+func (sh *Shard) runPar(until Time) {
+	s := sh.set
+	k := sh.k
+	spins := 0
+	for {
+		if s.stopped.Load() {
+			return
+		}
+		genSeen := s.gen.Load()
+		sh.snapshot()
+		sh.drain()
+		bound := sh.bound()
+		progressed := false
+		for n := 0; n < 1024; n++ {
+			ev := k.peekLive()
+			if ev == nil || ev.at > until {
+				break
+			}
+			isMsg := ev.seq >= msgSeqBit
+			if ev.at > bound || (ev.at == bound && isMsg) {
+				break
+			}
+			if isMsg && ev.at == k.lastLocalAt {
+				s.fail(ErrShardTie)
+				return
+			}
+			k.Step()
+			progressed = true
+			if !s.countEvent(sh) {
+				return
+			}
+			sh.publish()
+		}
+		sh.publish()
+		if progressed {
+			spins = 0
+			continue
+		}
+		if ev := k.peekLive(); (ev == nil || ev.at > until) && !sh.mail.Load() && bound > until {
+			// Done: no local work at or before until, and every neighbor has
+			// promised not to send any. Publishing Never releases them.
+			if k.now < until && until != Never {
+				k.now = until
+			}
+			sh.storeHorizon(Never)
+			s.notify()
+			return
+		}
+		// Blocked on a neighbor. Spin briefly — on saturated hosts the
+		// neighbor's horizon usually advances within a few scheduler slices —
+		// then park on the condition variable.
+		if spins < 128 {
+			spins++
+			runtime.Gosched()
+			continue
+		}
+		s.sleep(genSeen)
+		spins = 0
+	}
+}
+
+// runSeq is the sequential executor: one goroutine interleaves all shards
+// in global (event time, shard index) order. Executing the globally
+// earliest event is always safe — any message it posts is timestamped at
+// the poster's current clock, which is no earlier than every other shard's
+// next event — so no horizon bookkeeping is needed. The per-kernel merge
+// rules (message sequence keys, the tie tripwire) are the same as the
+// threaded executor's, so both produce identical results.
+func (s *ShardSet) runSeq(until Time) error {
+	mailSeen := s.mailGen.Load() - 1 // force the first drain
+	for !s.stopped.Load() {
+		if g := s.mailGen.Load(); g != mailSeen {
+			mailSeen = g
+			for _, sh := range s.shards {
+				sh.drain()
+			}
+		}
+		best := -1
+		bt := Never
+		var second Time = Never
+		for i, sh := range s.shards {
+			ev := sh.k.peekLive()
+			if ev == nil {
+				continue
+			}
+			if best < 0 || ev.at < bt {
+				second = bt
+				best, bt = i, ev.at
+			} else if ev.at < second {
+				second = ev.at
+			}
+		}
+		if best < 0 || bt > until {
+			break
+		}
+		sh := s.shards[best]
+		// Step this shard while it stays strictly ahead of every other
+		// shard and posts no mail, amortizing the min-scan across bursts.
+		for {
+			ev := sh.k.peekLive()
+			if ev == nil || ev.at > until {
+				break
+			}
+			if ev.seq >= msgSeqBit && ev.at == sh.k.lastLocalAt {
+				return ErrShardTie
+			}
+			sh.k.Step()
+			if !s.countEvent(sh) {
+				return s.failure()
+			}
+			if s.stopped.Load() || s.mailGen.Load() != mailSeen {
+				break
+			}
+			if next := sh.k.peekLive(); next == nil || next.at >= second {
+				break
+			}
+		}
+	}
+	if err := s.failure(); err != nil {
+		return err
+	}
+	if !s.stopped.Load() && until != Never {
+		for _, sh := range s.shards {
+			if sh.k.now < until {
+				sh.k.now = until
+			}
+		}
+	}
+	return nil
+}

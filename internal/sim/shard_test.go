@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+const testLookahead Duration = 10 * Microsecond
+
+// chainSpec drives a deterministic cross-shard workload: each shard runs a
+// chain of tx-flagged events; every firing appends a record to the shard's
+// log and posts a message to the peer shard, whose execution also logs.
+type chainSpec struct {
+	set  *ShardSet
+	logs [][]string // one per shard; only appended to by that shard's kernel
+}
+
+func newChainSpec(n int) *chainSpec {
+	cs := &chainSpec{set: NewShardSet(n, testLookahead), logs: make([][]string, n)}
+	// Distinct per-shard periods keep transmission timestamps from ever
+	// colliding across shards: bit-identical cross-shard timestamps are the
+	// ambiguous-tie case and trip ErrShardTie by design (tested separately).
+	periods := []Duration{1.31 * testLookahead, 1.73 * testLookahead, 2.39 * testLookahead, 3.11 * testLookahead}
+	for i := 0; i < n; i++ {
+		i := i
+		k := cs.set.Kernel(i)
+		// Post only to an adjacent shard: horizons bind neighbors, matching
+		// the stripe partition where cross-shard radio traffic is always ±1.
+		peer := i + 1
+		if peer == n {
+			peer = n - 2
+		}
+		period := periods[i%len(periods)]
+		var fire func()
+		fire = func() {
+			now := k.Now()
+			cs.logs[i] = append(cs.logs[i], fmt.Sprintf("tx s%d %v", i, now))
+			cs.set.Post(k, peer, now, func(arg any) {
+				cs.logs[peer] = append(cs.logs[peer], fmt.Sprintf("rx s%d<-s%d %v", peer, i, cs.set.Kernel(peer).Now()))
+			}, nil)
+			k.ScheduleFireTx(period, fire, true)
+		}
+		k.ScheduleFireTx(period, fire, true)
+	}
+	return cs
+}
+
+func (cs *chainSpec) transcript() string {
+	var b strings.Builder
+	for i, log := range cs.logs {
+		fmt.Fprintf(&b, "shard %d:\n", i)
+		for _, line := range log {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// TestShardSetDeterministicAcrossExecutors pins the determinism contract:
+// the threaded and sequential executors, and repeated threaded runs, must
+// interleave cross-shard messages identically.
+func TestShardSetDeterministicAcrossExecutors(t *testing.T) {
+	// 1 ms keeps the run short of the first rational coincidence of the
+	// chain periods (173·1.31L = 131·1.73L ≈ 2.27 ms), where timestamps
+	// would legitimately collide and trip the tie detector.
+	const until = Millisecond
+	run := func(exec string) string {
+		t.Setenv("IC_SHARD_EXEC", exec)
+		cs := newChainSpec(3)
+		if err := cs.set.Run(until); err != nil {
+			t.Fatalf("Run(%s): %v", exec, err)
+		}
+		for i := 0; i < cs.set.Shards(); i++ {
+			if got := cs.set.Kernel(i).Now(); got != until {
+				t.Fatalf("shard %d clock = %v, want %v", i, got, until)
+			}
+		}
+		return cs.transcript()
+	}
+	seq := run("seq")
+	if seq == "" || !strings.Contains(seq, "rx s1<-s2") {
+		t.Fatalf("sequential transcript did not exercise cross-shard posts:\n%s", seq)
+	}
+	for i := 0; i < 3; i++ {
+		if par := run("par"); par != seq {
+			t.Fatalf("threaded run %d diverged from sequential run:\nseq:\n%s\npar:\n%s", i, seq, par)
+		}
+	}
+}
+
+// TestScheduleFireTxLookaheadContract: a border transmission scheduled
+// below the lookahead bound must fail loud, because horizons already
+// promised to neighbor shards assumed it could not exist.
+func TestScheduleFireTxLookaheadContract(t *testing.T) {
+	set := NewShardSet(2, testLookahead)
+	k := set.Kernel(0)
+
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("ScheduleFireTx below lookahead on a border node did not panic")
+			}
+		}()
+		k.ScheduleFireTx(testLookahead/2, func() {}, true)
+	}()
+
+	// A non-border node never emits cross-shard traffic, so the bound does
+	// not apply to it.
+	k.ScheduleFireTx(testLookahead/2, func() {}, false)
+
+	// Posting outside a tx-flagged event breaks the same contract.
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("Post outside a transmission event did not panic")
+			}
+		}()
+		set.Post(k, 1, 0, func(any) {}, nil)
+	}()
+}
+
+// TestShardSetAggregateEventLimit: the aggregate limit must abort all
+// shards cleanly — an error from Run, and no shard goroutine left behind.
+func TestShardSetAggregateEventLimit(t *testing.T) {
+	for _, exec := range []string{"seq", "par"} {
+		t.Run(exec, func(t *testing.T) {
+			t.Setenv("IC_SHARD_EXEC", exec)
+			before := runtime.NumGoroutine()
+			cs := newChainSpec(4)
+			cs.set.SetEventLimit(500)
+			err := cs.set.Run(Never)
+			if err == nil || !strings.Contains(err.Error(), "aggregate event limit") {
+				t.Fatalf("Run with aggregate limit: err = %v, want aggregate limit error", err)
+			}
+			if got := cs.set.Processed(); got < 500 {
+				t.Fatalf("Processed() = %d, want >= limit 500", got)
+			}
+			waitGoroutines(t, before)
+		})
+	}
+}
+
+// TestShardSetPerKernelEventLimit: Kernel.SetEventLimit stays per-shard
+// accounting; one shard tripping its own limit aborts the whole set.
+func TestShardSetPerKernelEventLimit(t *testing.T) {
+	cs := newChainSpec(2)
+	cs.set.Kernel(1).SetEventLimit(100)
+	err := cs.set.Run(Never)
+	if err == nil || !strings.Contains(err.Error(), "(shard 1)") {
+		t.Fatalf("Run with per-kernel limit: err = %v, want shard 1 limit error", err)
+	}
+	if p := cs.set.Kernel(1).Processed(); p < 100 {
+		t.Fatalf("shard 1 processed %d events, want >= 100", p)
+	}
+}
+
+// TestShardSetStop: Kernel.Stop from inside an event stops every shard (a
+// lone halted region would deadlock its neighbors), Run returns nil, and no
+// goroutines leak.
+func TestShardSetStop(t *testing.T) {
+	for _, exec := range []string{"seq", "par"} {
+		t.Run(exec, func(t *testing.T) {
+			t.Setenv("IC_SHARD_EXEC", exec)
+			before := runtime.NumGoroutine()
+			cs := newChainSpec(4)
+			var stopped atomic.Bool
+			cs.set.Kernel(2).ScheduleFire(Millisecond, func() {
+				stopped.Store(true)
+				cs.set.Kernel(2).Stop()
+			})
+			if err := cs.set.Run(Never); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if !stopped.Load() {
+				t.Fatal("stop event never ran")
+			}
+			waitGoroutines(t, before)
+		})
+	}
+}
+
+// TestShardTieTripsLoud: a cross-shard message landing on the exact
+// timestamp of a local transmission event is ambiguous against the
+// sequential order; the run must fail with ErrShardTie rather than pick an
+// order silently.
+func TestShardTieTripsLoud(t *testing.T) {
+	for _, exec := range []string{"seq", "par"} {
+		t.Run(exec, func(t *testing.T) {
+			t.Setenv("IC_SHARD_EXEC", exec)
+			set := NewShardSet(2, testLookahead)
+			k0, k1 := set.Kernel(0), set.Kernel(1)
+			// Shard 0 transmits at t=2L and posts a message timestamped at
+			// its own clock; shard 1 independently transmits at the same
+			// bit-identical timestamp.
+			k0.ScheduleFireTx(2*testLookahead, func() {
+				set.Post(k0, 1, k0.Now(), func(any) {}, nil)
+			}, true)
+			k1.ScheduleFireTx(2*testLookahead, func() {}, true)
+			// Keep shard 0 alive past the tie so its horizon keeps moving.
+			if err := set.Run(Millisecond); !errors.Is(err, ErrShardTie) {
+				t.Fatalf("Run: err = %v, want ErrShardTie", err)
+			}
+		})
+	}
+}
+
+// TestSingleShardSetIsSequentialKernel: a one-shard set must leave its
+// kernel on the plain sequential path (no shard hooks, Stop works as on a
+// bare kernel).
+func TestSingleShardSetIsSequentialKernel(t *testing.T) {
+	set := NewShardSet(1, 0)
+	k := set.Kernel(0)
+	if k.shard != nil {
+		t.Fatal("single-shard set attached shard state to its kernel")
+	}
+	ran := 0
+	k.ScheduleFireTx(0, func() { ran++ }, true) // no lookahead bound at S=1
+	k.ScheduleFire(Millisecond, func() { k.Stop() })
+	k.ScheduleFire(2*Millisecond, func() { ran++ })
+	if err := set.Run(Never); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ran != 1 {
+		t.Fatalf("ran = %d events, want 1 (Stop must halt the kernel)", ran)
+	}
+}
+
+// TestEventPoolCap: the free list must not grow past maxEventPool no matter
+// how large a burst of simultaneous events resolves.
+func TestEventPoolCap(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 3*maxEventPool; i++ {
+		k.ScheduleFire(Microsecond, func() {})
+	}
+	if err := k.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(k.pool) > maxEventPool {
+		t.Fatalf("event pool grew to %d entries, cap is %d", len(k.pool), maxEventPool)
+	}
+	if len(k.pool) != maxEventPool {
+		t.Fatalf("event pool holds %d entries after a %d-event burst, want full cap %d",
+			len(k.pool), 3*maxEventPool, maxEventPool)
+	}
+}
+
+// waitGoroutines polls until the goroutine count returns to (at most) its
+// pre-run baseline, failing the test if shard goroutines leak.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}

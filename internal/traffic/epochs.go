@@ -14,7 +14,19 @@ import (
 type Epochs struct {
 	Period  sim.Duration
 	OnEpoch func(epoch int64, now sim.Time)
+	// OnNode, when set, makes the program shard-capable: on a partitioned
+	// replica every shard runs its own epoch chain, invoking OnNode for the
+	// shard's nodes in ascending index order instead of one global OnEpoch.
+	// The two hooks must be behaviorally equivalent — OnEpoch applied to
+	// all nodes must equal OnNode applied per node — which holds whenever
+	// the per-node work touches only that node's state. Single-kernel
+	// replicas always use OnEpoch, preserving the exact legacy event
+	// sequence.
+	OnNode func(epoch int64, now sim.Time, node int)
 }
+
+// ShardCapable implements the traffic.ShardCapable marker.
+func (e *Epochs) ShardCapable() bool { return e.OnNode != nil }
 
 // Validate implements Program. Epochs reserves no nodes.
 func (e *Epochs) Validate(int) (int, error) {
@@ -40,9 +52,14 @@ type epochPlan struct {
 	deps Deps
 }
 
-// Start schedules the epoch chain. Each firing re-checks the clock, so no
-// epoch triggers at or past Deps.End.
+// Start schedules the epoch chain — one global chain on a single kernel,
+// or one chain per shard on a partitioned replica. Each firing re-checks
+// the clock, so no epoch triggers at or past Deps.End.
 func (p *epochPlan) Start() {
+	if p.deps.Set != nil && p.deps.Set.Shards() > 1 && p.cfg.OnNode != nil {
+		p.startSharded()
+		return
+	}
 	epoch := int64(0)
 	var fire func()
 	fire = func() {
@@ -55,4 +72,36 @@ func (p *epochPlan) Start() {
 		p.deps.K.MustSchedule(p.cfg.Period, fire)
 	}
 	p.deps.K.MustSchedule(p.cfg.Period, fire)
+}
+
+// startSharded runs one epoch chain per shard. All chains fire at the same
+// virtual instants (multiples of Period), each invoking OnNode for its own
+// shard's nodes in ascending index order — the same per-node call set as
+// the global chain, partitioned by ownership so no shard touches another
+// shard's state.
+func (p *epochPlan) startSharded() {
+	set := p.deps.Set
+	nodes := make([][]int, set.Shards())
+	for i := 0; i < p.deps.N; i++ {
+		s := p.deps.NodeShard(i)
+		nodes[s] = append(nodes[s], i)
+	}
+	for s := range nodes {
+		s := s
+		k := set.Kernel(s)
+		epoch := int64(0)
+		var fire func()
+		fire = func() {
+			now := k.Now()
+			if now >= p.deps.End {
+				return
+			}
+			epoch++
+			for _, i := range nodes[s] {
+				p.cfg.OnNode(epoch, now, i)
+			}
+			k.MustSchedule(p.cfg.Period, fire)
+		}
+		k.MustSchedule(p.cfg.Period, fire)
+	}
 }
