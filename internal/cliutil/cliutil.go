@@ -113,6 +113,24 @@ func AddShardsFlag(fs *flag.FlagSet) (apply func() error) {
 	}
 }
 
+// AddShardStatsFlag registers the shared -shardstats flag on fs and
+// returns an apply function to call once fs is parsed. Like AddShardsFlag
+// it routes through an environment knob (IC_SHARD_STATS=1): sharded
+// replicas then harvest their executor-synchronization gauges
+// (null-message republishes, parks, blocked wall-clock) into the Result
+// and print a per-shard utilization table to stderr after each replica.
+// The flag is diagnostic only — sweep tables are byte-identical with it
+// on or off.
+func AddShardStatsFlag(fs *flag.FlagSet) (apply func() error) {
+	on := fs.Bool("shardstats", false, "print per-shard utilization (events, null republishes, blocked time) after each sharded replica")
+	return func() error {
+		if !*on {
+			return nil
+		}
+		return os.Setenv("IC_SHARD_STATS", "1")
+	}
+}
+
 // SplitCSV splits a comma-separated flag value, trimming whitespace and
 // dropping empty elements; an empty input yields nil.
 func SplitCSV(s string) []string {

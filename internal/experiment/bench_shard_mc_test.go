@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"innercircle/internal/scenario"
+	"innercircle/internal/sim"
+)
+
+// BenchmarkShardedFieldMC measures the sharded sensor-field replica under
+// the multi-core executor variants (BENCH_shard_mc.json). The sub-benchmark
+// name carries GOMAXPROCS so sweeping `GOMAXPROCS=1 2 4 8 go test -bench`
+// produces distinguishable rows, and each variant pins the executor knobs
+// explicitly so ambient environment cannot relabel a row:
+//
+//	seq           — sequential multi-queue executor (the PR-6 baseline path)
+//	par           — one slot goroutine per shard; weighted partition and
+//	                message lookahead on (the full feature set)
+//	par-legacy    — par with IC_SHARD_PART=legacy: attribution row for the
+//	                load-weighted partitioner
+//	par-nomsgla   — par with IC_SHARD_MSGLA=off: attribution row for the
+//	                tx-aware message-lookahead horizons
+//	auto          — no knobs: the core-token-budgeted default, sized to
+//	                spare GOMAXPROCS
+//
+// Shard counts per size follow BenchmarkShardedField (largest tie-free
+// count at seed 1), and the executed-shard-count assertion keeps a silent
+// fallback or tie rerun from mislabeling a row.
+func BenchmarkShardedFieldMC(b *testing.B) {
+	variants := []struct {
+		name string
+		env  map[string]string
+	}{
+		{"seq", map[string]string{"IC_SHARD_EXEC": "seq"}},
+		{"par", map[string]string{"IC_SHARD_EXEC": "par"}},
+		{"par-legacy", map[string]string{"IC_SHARD_EXEC": "par", "IC_SHARD_PART": "legacy"}},
+		{"par-nomsgla", map[string]string{"IC_SHARD_EXEC": "par", "IC_SHARD_MSGLA": "off"}},
+		{"auto", nil},
+	}
+	knobs := []string{"IC_SHARD_EXEC", "IC_SHARD_GROUPS", "IC_SHARD_PART", "IC_SHARD_MSGLA", "IC_WORKERS", "IC_CORE_BUDGET"}
+	procs := runtime.GOMAXPROCS(0)
+	for _, p := range []struct{ nodes, shards int }{
+		{10000, 6}, {40000, 8}, {100000, 8},
+	} {
+		for _, v := range variants {
+			b.Run(fmt.Sprintf("nodes=%d/procs=%d/exec=%s", p.nodes, procs, v.name), func(b *testing.B) {
+				for _, knob := range knobs {
+					b.Setenv(knob, v.env[knob])
+				}
+				cfg := ScaledSensorConfig(p.nodes)
+				cfg.Seed = 1
+				cfg.Shards = p.shards
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					spec, err := sensorSpec(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := scenario.Run(spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Shards != p.shards {
+						b.Fatalf("replica executed with %d shards, want %d (fallback or tie rerun — numbers would be mislabeled)", res.Shards, p.shards)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkStripePartition isolates the partitioner itself — the weighted
+// boundary walk is a two-pass O(nodes + cols) scan and must stay invisible
+// next to replica construction.
+func BenchmarkStripePartition(b *testing.B) {
+	for _, variant := range []string{"weighted", "legacy"} {
+		b.Run(variant, func(b *testing.B) {
+			if variant == "legacy" {
+				b.Setenv("IC_SHARD_PART", "legacy")
+			} else {
+				b.Setenv("IC_SHARD_PART", "")
+			}
+			cfg := ScaledSensorConfig(40000)
+			cfg.Seed = 1
+			spec, err := sensorSpec(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			positions := spec.Topology.Place(spec.Nodes, sim.NewRNG(cfg.Seed).Split("placement"))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, _, eff := scenario.StripePartition(positions, cfg.Range, 8)
+				if eff != 8 {
+					b.Fatalf("effective = %d, want 8", eff)
+				}
+			}
+		})
+	}
+}

@@ -19,6 +19,8 @@ import (
 	"runtime/debug"
 	"strconv"
 	"sync"
+
+	"innercircle/internal/sim"
 )
 
 // Job is one unit of sweep work: an independent simulation replica.
@@ -95,7 +97,15 @@ func RunJobs(jobs []Job, workers int, progress ProgressFunc) ([]any, error) {
 				continue // drain the queue without starting more replicas
 			default:
 			}
+			// Charge one core token per in-flight replica so sharded
+			// replicas (sim.ShardSet.Run) size their executors to the
+			// cores this pool is not already driving. Advisory: a worker
+			// that gets no token still runs — the budget only stops a
+			// saturated pool's replicas from spawning shards-per-replica
+			// extra goroutines on top of the workers.
+			got := sim.AcquireCores(1)
 			res, err := runOne(j)
+			sim.ReleaseCores(got)
 			mu.Lock()
 			if err != nil {
 				errs[j.Index] = err

@@ -1,7 +1,6 @@
 package experiment
 
 import (
-	"fmt"
 	"testing"
 
 	"innercircle/internal/scenario"
@@ -28,30 +27,57 @@ func shardSensorTables(t *testing.T, shards int) []string {
 	return out
 }
 
+// sweepKnobs is every environment knob that selects a sweep execution
+// strategy. Each invariance subtest pins all of them so variants cannot
+// leak into each other or inherit strategy from the ambient environment.
+var sweepKnobs = []string{"IC_SHARD_EXEC", "IC_SHARD_GROUPS", "IC_SHARD_PART", "IC_WORKERS", "IC_CORE_BUDGET", "IC_SHARD_STATS"}
+
 // TestSweepShardCountInvariant pins the sharded kernel's determinism
-// contract end to end: sweep tables are byte-identical for IC_SHARDS ∈
-// {1, 2, 4, 8}, under both shard executors. Ambiguous cross-shard
-// timestamp ties are allowed to occur — the runner then reruns the replica
-// on one kernel — so the equality below holds unconditionally, not just on
-// tie-free runs.
+// contract end to end: sweep tables are byte-identical at every shard
+// count, under every executor (sequential, goroutine-per-shard, grouped,
+// and the core-budgeted default), at every (workers, shards) combination,
+// and under both the weighted and legacy stripe partitions. Ambiguous
+// cross-shard timestamp ties are allowed to occur — the runner then reruns
+// the replica on one kernel — so the equality below holds unconditionally,
+// not just on tie-free runs.
 func TestSweepShardCountInvariant(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-minute sweep matrix")
 	}
+	variants := []struct {
+		name   string
+		shards int
+		env    map[string]string
+	}{
+		{"seq/shards=2", 2, map[string]string{"IC_SHARD_EXEC": "seq"}},
+		{"seq/shards=4", 4, map[string]string{"IC_SHARD_EXEC": "seq"}},
+		{"seq/shards=8", 8, map[string]string{"IC_SHARD_EXEC": "seq"}},
+		{"par/shards=2", 2, map[string]string{"IC_SHARD_EXEC": "par"}},
+		{"par/shards=4", 4, map[string]string{"IC_SHARD_EXEC": "par"}},
+		{"par/shards=8", 8, map[string]string{"IC_SHARD_EXEC": "par"}},
+		{"budgeted/groups=2/shards=4", 4, map[string]string{"IC_SHARD_GROUPS": "2"}},
+		{"budgeted/workers=1/shards=4", 4, map[string]string{"IC_WORKERS": "1"}},
+		{"budgeted/workers=4/shards=4", 4, map[string]string{"IC_WORKERS": "4", "IC_CORE_BUDGET": "4"}},
+		{"legacy-partition/par/shards=4", 4, map[string]string{"IC_SHARD_EXEC": "par", "IC_SHARD_PART": "legacy"}},
+		{"shardstats/par/shards=4", 4, map[string]string{"IC_SHARD_EXEC": "par", "IC_SHARD_STATS": "1"}},
+	}
+	for _, knob := range sweepKnobs {
+		t.Setenv(knob, "")
+	}
 	want := shardSensorTables(t, 1)
-	for _, exec := range []string{"seq", "par"} {
-		for _, shards := range []int{2, 4, 8} {
-			t.Run(fmt.Sprintf("%s/shards=%d", exec, shards), func(t *testing.T) {
-				t.Setenv("IC_SHARD_EXEC", exec)
-				got := shardSensorTables(t, shards)
-				for i := range want {
-					if got[i] != want[i] {
-						t.Errorf("table %d differs between 1 and %d shards (%s executor):\n--- 1 shard ---\n%s--- %d shards ---\n%s",
-							i, shards, exec, want[i], shards, got[i])
-					}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			for _, knob := range sweepKnobs {
+				t.Setenv(knob, v.env[knob])
+			}
+			got := shardSensorTables(t, v.shards)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("table %d differs between 1 shard and %s:\n--- 1 shard ---\n%s--- %s ---\n%s",
+						i, v.name, want[i], v.name, got[i])
 				}
-			})
-		}
+			}
+		})
 	}
 }
 

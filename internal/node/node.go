@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	mrand "math/rand"
+	"os"
 
 	"innercircle/internal/crypto/nsl"
 	"innercircle/internal/crypto/sigcache"
@@ -235,6 +236,18 @@ func Build(cfg Config) (*Network, error) {
 		ch = radio.NewChannelSharded(set, cfg.Radio, func(p geo.Point) (int, bool) {
 			return cfg.ShardOf(p), cfg.ShardBorder(p)
 		})
+		if os.Getenv("IC_SHARD_MSGLA") != "off" {
+			// A cross-shard message is a frame registration posted at the
+			// send instant; the receiving side's only event chain starts
+			// when the frame's airtime elapses, and every MAC frame carries
+			// at least the header overhead on the air. Any transmission the
+			// message triggers therefore waits the frame airtime plus the
+			// MAC turnaround — so the message lookahead, the bound null
+			// messages propagate at, is the base lookahead plus the minimum
+			// frame airtime. IC_SHARD_MSGLA=off pins the conservative base
+			// bound for A/B attribution.
+			set.SetMsgLookahead(lookahead + ch.TxDuration(cfg.MAC.HeaderBytes))
+		}
 	} else {
 		k = sim.NewKernel()
 		ch = radio.NewChannel(k, cfg.Radio)

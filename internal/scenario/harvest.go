@@ -30,6 +30,20 @@ const (
 
 	GaugeThroughputPct  = "throughput_pct"    // received/sent, percent
 	GaugeEnergyPerNodeJ = "energy_per_node_j" // joules over the run
+
+	// Shard utilization (sharded replicas only; see sim.ShardUtil). The
+	// events/straggler gauges are deterministic functions of the partition
+	// and are always set when shards > 1. The republish/park/blocked gauges
+	// measure executor synchronization in wall-clock terms and vary run to
+	// run, so they are only set under IC_SHARD_STATS=1 (the -shardstats
+	// flag) — keeping default Results bit-identical across executors. None
+	// of them feeds any modeled metric or sweep table.
+	GaugeShardEventsMin     = "shard_events_min"      // lightest shard's events executed
+	GaugeShardEventsMax     = "shard_events_max"      // heaviest shard's events executed
+	GaugeShardStraggler     = "shard_straggler_ratio" // max/min events across shards
+	GaugeShardNullRepublish = "shard_null_republishes"
+	GaugeShardParks         = "shard_parks"
+	GaugeShardBlockedMs     = "shard_blocked_ms"
 )
 
 // Result is a scenario run's uniform harvest: ordered event counters and

@@ -426,6 +426,9 @@ func runOnce(s *Spec, shards int) (*Result, error) {
 		res.Counters.Add(CtrVoteMemoHits, hits)
 		res.Counters.Add(CtrVoteMemoMisses, misses)
 	}
+	if shards > 1 && net.Set != nil {
+		harvestShardStats(res, net.Set)
+	}
 	for _, c := range s.Stack.Components {
 		if h, ok := c.(Harvester); ok {
 			h.Harvest(env, res)

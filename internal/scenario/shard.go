@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"fmt"
 	"math"
 	"os"
 	"strconv"
@@ -25,6 +26,19 @@ type ShardSafe interface {
 // range wide: cross-stripe transmissions only ever reach the adjacent
 // stripe (the shard set's neighbor topology), and any node that can hear
 // across a boundary is within one range of it.
+//
+// Stripe boundaries are load-weighted: columns carry their node counts and
+// each boundary is placed at the smallest column prefix whose weight
+// reaches that shard's proportional share (smallest b with
+// cum(b)·shards >= i·total), clamped so every shard keeps at least one
+// column. Under density skew this caps the heaviest shard at
+// total/shards + heaviest-column — the straggler that would otherwise gate
+// every neighbor's horizon — while a deployment with exactly uniform
+// per-column counts reproduces the legacy even-column-count boundaries
+// bit for bit. IC_SHARD_PART=legacy pins the old even-column split; either
+// way consecutive columns map to the same or the next shard (|Δcol| <= 1
+// adjacency), and sweep results are partition-independent by the kernel's
+// determinism contract.
 //
 // It returns the owner and border classifiers plus the effective shard
 // count, clamped to the number of occupied columns (a deployment narrower
@@ -52,6 +66,48 @@ func StripePartition(positions []geo.Point, rangeM float64, shards int) (ownerOf
 	if shards < 2 {
 		return nil, nil, 1
 	}
+	colOwner := make([]int, cols)
+	if os.Getenv("IC_SHARD_PART") == "legacy" {
+		for c := range colOwner {
+			colOwner[c] = c * shards / cols
+		}
+	} else {
+		// cum[b] is the node count of columns [0, b); boundary i is the
+		// smallest b with cum[b]·shards >= i·total, kept within
+		// [prev+1, cols-(shards-i)] so every shard owns >= 1 column. The
+		// unclamped rule bounds every shard's load by total/shards +
+		// max-column (the prefix overshoots its target by less than one
+		// column); a binding clamp only ever pins single-column shards.
+		cum := make([]int, cols+1)
+		for _, p := range positions {
+			col := int(math.Floor(p.X / rangeM))
+			if col < cmin {
+				col = cmin
+			}
+			if col > cmax {
+				col = cmax
+			}
+			cum[col-cmin+1]++
+		}
+		for c := 0; c < cols; c++ {
+			cum[c+1] += cum[c]
+		}
+		total := cum[cols]
+		prev := 0
+		for i := 1; i < shards; i++ {
+			b := prev + 1
+			for b < cols-(shards-i) && cum[b]*shards < i*total {
+				b++
+			}
+			for c := prev; c < b; c++ {
+				colOwner[c] = i - 1
+			}
+			prev = b
+		}
+		for c := prev; c < cols; c++ {
+			colOwner[c] = shards - 1
+		}
+	}
 	ownerOf = func(p geo.Point) int {
 		col := int(math.Floor(p.X / rangeM))
 		if col < cmin {
@@ -60,10 +116,7 @@ func StripePartition(positions []geo.Point, rangeM float64, shards int) (ownerOf
 		if col > cmax {
 			col = cmax
 		}
-		// Distribute columns evenly; consecutive columns map to the same or
-		// the next shard, so in-range traffic (|Δcol| <= 1) never skips a
-		// shard.
-		return (col - cmin) * shards / cols
+		return colOwner[col-cmin]
 	}
 	borderOf = func(p geo.Point) bool {
 		own := ownerOf(p)
@@ -71,6 +124,47 @@ func StripePartition(positions []geo.Point, rangeM float64, shards int) (ownerOf
 			ownerOf(geo.Point{X: p.X + rangeM, Y: p.Y}) != own
 	}
 	return ownerOf, borderOf, shards
+}
+
+// harvestShardStats folds the shard set's utilization records into the
+// Result. The events-based gauges are deterministic (they depend only on
+// the partition and the simulation); the wall-clock synchronization gauges
+// vary run to run and are set only under IC_SHARD_STATS=1, which also
+// prints the full per-shard table to stderr.
+func harvestShardStats(res *Result, set *sim.ShardSet) {
+	util := set.Utilization()
+	minEv, maxEv := util[0].Events, util[0].Events
+	var nulls, parks uint64
+	var blockedNs int64
+	for _, u := range util {
+		if u.Events < minEv {
+			minEv = u.Events
+		}
+		if u.Events > maxEv {
+			maxEv = u.Events
+		}
+		nulls += u.NullRepublishes
+		parks += u.Parks
+		blockedNs += u.BlockedNs
+	}
+	res.Gauges.Set(GaugeShardEventsMin, float64(minEv))
+	res.Gauges.Set(GaugeShardEventsMax, float64(maxEv))
+	straggler := float64(maxEv)
+	if minEv > 0 {
+		straggler = float64(maxEv) / float64(minEv)
+	}
+	res.Gauges.Set(GaugeShardStraggler, straggler)
+	if os.Getenv("IC_SHARD_STATS") != "1" {
+		return
+	}
+	res.Gauges.Set(GaugeShardNullRepublish, float64(nulls))
+	res.Gauges.Set(GaugeShardParks, float64(parks))
+	res.Gauges.Set(GaugeShardBlockedMs, float64(blockedNs)/1e6)
+	fmt.Fprintf(os.Stderr, "shardstats %s: shards=%d straggler=%.3f\n", res.Name, len(util), straggler)
+	for i, u := range util {
+		fmt.Fprintf(os.Stderr, "  shard %2d: events=%d null_republishes=%d parks=%d blocked_ms=%.2f\n",
+			i, u.Events, u.NullRepublishes, u.Parks, float64(u.BlockedNs)/1e6)
+	}
 }
 
 // effectiveShards resolves the shard count a replica will attempt: the

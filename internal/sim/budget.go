@@ -1,0 +1,69 @@
+package sim
+
+// Core-token budget: a process-wide account of how many simulation-driving
+// goroutines are worth keeping runnable at once. Without it, a sweep of W
+// workers each running an S-shard replica spawns W×S runnable goroutines
+// and thrashes the scheduler; with it, the experiment pool charges one
+// token per in-flight replica and ShardSet.Run sizes its executor to the
+// tokens actually left over, so concurrent sharded replicas cooperatively
+// divide the machine instead of fighting over it.
+//
+// The budget is advisory, never blocking: AcquireCores grants at most what
+// is spare and possibly nothing, and callers proceed either way (a pool
+// worker that gets no token still runs its replica; a shard set that gets
+// no extra tokens runs its shards on the caller's goroutine). That keeps
+// the token layer invisible to correctness — results are pinned
+// byte-identical at every (workers, shards) combination by the kernel's
+// determinism contract, and the budget only shapes wall-clock behavior.
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+)
+
+// coreUsed counts tokens currently held across the process.
+var coreUsed atomic.Int64
+
+// coreBudget returns the total token pool: IC_CORE_BUDGET when set to a
+// positive integer, else GOMAXPROCS. It is re-read on every acquire so a
+// benchmark varying GOMAXPROCS mid-process sees the new ceiling.
+func coreBudget() int64 {
+	if s := os.Getenv("IC_CORE_BUDGET"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return int64(v)
+		}
+	}
+	return int64(runtime.GOMAXPROCS(0))
+}
+
+// AcquireCores takes up to max spare core tokens and returns how many were
+// granted (possibly zero — it never blocks). The caller must pass the
+// granted count to ReleaseCores when the work completes.
+func AcquireCores(max int) int {
+	if max <= 0 {
+		return 0
+	}
+	for {
+		used := coreUsed.Load()
+		spare := coreBudget() - used
+		if spare <= 0 {
+			return 0
+		}
+		n := int64(max)
+		if n > spare {
+			n = spare
+		}
+		if coreUsed.CompareAndSwap(used, used+n) {
+			return int(n)
+		}
+	}
+}
+
+// ReleaseCores returns n tokens taken by AcquireCores to the pool.
+func ReleaseCores(n int) {
+	if n > 0 {
+		coreUsed.Add(-int64(n))
+	}
+}

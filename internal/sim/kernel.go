@@ -161,6 +161,14 @@ type Kernel struct {
 	// inTx is true while a tx-flagged event's callback is executing; it is
 	// the lookahead-contract gate for ShardSet.Post.
 	inTx bool
+	// inMsg is true while a cross-shard message event's callback is
+	// executing, and inMsgAt is that message's timestamp. Together they
+	// spot-check the message-lookahead promise (ShardSet.SetMsgLookahead):
+	// a border transmission scheduled directly from a message callback
+	// below the promised bound panics. Chains deeper than one event are
+	// outside the kernel's sight and remain the caller's proof obligation.
+	inMsg   bool
+	inMsgAt Time
 	// lastLocalAt is the timestamp of the most recent locally scheduled
 	// (non-message) event executed. A cross-shard message landing on the
 	// same timestamp is an ambiguous tie — the sequential kernel would order
@@ -281,6 +289,12 @@ func (k *Kernel) ScheduleFireTx(delay Duration, fn func(), border bool) {
 		panic(fmt.Sprintf("sim: ScheduleFireTx: transmission scheduled %v ahead of %v, below the lookahead bound %v (lookahead contract)",
 			delay, k.now, k.shard.set.lookahead))
 	}
+	if k.inMsg {
+		if min := k.inMsgAt + k.shard.set.msgLookahead; k.now+delay < min {
+			panic(fmt.Sprintf("sim: ScheduleFireTx: transmission at %v scheduled from a message callback (message at %v), below the promised message lookahead %v (SetMsgLookahead contract)",
+				k.now+delay, k.inMsgAt, k.shard.set.msgLookahead))
+		}
+	}
 	ev := k.getEvent(k.now + delay)
 	ev.fn = fn
 	ev.tx = true
@@ -381,8 +395,12 @@ func (k *Kernel) Step() bool {
 		// Copy the callback out before recycling: the callback itself may
 		// schedule new events and reuse this struct.
 		fn, fnArg, arg, tx := ev.fn, ev.fnArg, ev.arg, ev.tx
-		if ev.seq < msgSeqBit {
+		isMsg := ev.seq >= msgSeqBit
+		if !isMsg {
 			k.lastLocalAt = k.now
+		} else if k.shard != nil {
+			k.inMsg = true
+			k.inMsgAt = k.now
 		}
 		k.putEvent(ev)
 		if tx {
@@ -398,6 +416,9 @@ func (k *Kernel) Step() bool {
 		}
 		if tx {
 			k.inTx = false
+		}
+		if isMsg {
+			k.inMsg = false
 		}
 		return true
 	}

@@ -12,6 +12,21 @@ package sim
 // still publishes how far its clock could possibly produce traffic, which
 // is what keeps the ring of shards deadlock-free.
 //
+// Two lookaheads drive the horizon algebra:
+//
+//   - lookahead bounds transmissions caused by locally pending events: any
+//     event's callback may schedule a transmission, but never closer than
+//     lookahead (ScheduleFireTx enforces it).
+//   - msgLookahead (>= lookahead) bounds transmissions caused by messages
+//     not yet received. The caller asserts it via SetMsgLookahead: a
+//     message's callback chain schedules no transmission earlier than
+//     msgLookahead after the message timestamp. For the radio model a
+//     message is a frame registration whose only event chain starts when
+//     the frame's airtime elapses, so node.Build asserts lookahead +
+//     TxDuration(smallest frame). The larger the message lookahead, the
+//     fewer null-message rounds it takes an idle cascade of shards to
+//     advance each other past a gap.
+//
 // Determinism contract. Results must be identical at any shard count, so
 // every source of nondeterminism is pinned:
 //
@@ -32,15 +47,19 @@ package sim
 //     (rng.SplitN), so a node draws the same sequence regardless of which
 //     kernel hosts it.
 //
-// Two executors drive the same shard structures. The threaded executor runs
-// one goroutine per shard with atomic horizon publication and a shared
-// condition variable for blocking — that is the scaling path on multi-core
-// hosts. The sequential executor interleaves all shards on one goroutine in
-// global (time, shard) order; it exists because conservative synchronization
-// buys nothing at GOMAXPROCS=1, while the sharded radio's per-region
-// candidate iteration still does (see radio.sendSharded). Both executors
-// produce identical results; IC_SHARD_EXEC=seq|par pins the choice for
-// tests and race checks.
+// Executors. The sequential executor interleaves all shards on one
+// goroutine in global (time, shard) order with zero synchronization; it
+// exists because conservative synchronization buys nothing at one core,
+// while the sharded radio's per-region candidate iteration still does (see
+// radio.sendSharded). The threaded executor runs the shards on G slot
+// goroutines (1 < G <= S), each slot round-robining a contiguous group of
+// shards; G = S is classic goroutine-per-shard. Unless IC_SHARD_EXEC pins
+// an executor, Run sizes G to the core tokens actually spare (see
+// budget.go) so concurrent sharded replicas divide GOMAXPROCS instead of
+// oversubscribing it — with no spare tokens the replica degrades to the
+// sequential executor. All executors produce identical results;
+// IC_SHARD_EXEC=seq|par pins the choice for tests and race checks, and
+// IC_SHARD_GROUPS=N pins the slot count.
 
 import (
 	"errors"
@@ -49,8 +68,10 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrShardTie reports an ambiguous cross-shard timestamp tie: a message
@@ -69,6 +90,10 @@ const msgSeqBit uint64 = 1 << 63
 // 48 bits for the per-sender posting sequence.
 const msgSrcShift = 48
 
+// pumpBatch bounds how many events a shard executes between horizon
+// republishes to its neighbors.
+const pumpBatch = 1024
+
 // xmsg is one cross-shard message waiting in a shard's inbox.
 type xmsg struct {
 	at  Time
@@ -76,6 +101,26 @@ type xmsg struct {
 	seq uint64
 	fn  func(any)
 	arg any
+}
+
+// ShardUtil is one shard's utilization record for the last Run: how much
+// work it executed and how much synchronization it paid. Events and
+// NullRepublishes are properties of the partition; Parks and BlockedNs are
+// wall-clock diagnostics of the executor and vary run to run. None of them
+// feed any simulation result.
+type ShardUtil struct {
+	// Events counts events executed on this shard's kernel.
+	Events uint64
+	// NullRepublishes counts horizon publishes from passes that executed
+	// no event — the protocol's null messages.
+	NullRepublishes uint64
+	// Parks counts times the executor slot driving this shard parked on
+	// the condition variable waiting for a neighbor. Attributed to the
+	// slot's earliest live shard; exact when slots are singletons.
+	Parks uint64
+	// BlockedNs is wall-clock nanoseconds the slot spent spinning or
+	// parked while this shard was its earliest live member.
+	BlockedNs int64
 }
 
 // Shard is one region's kernel plus its synchronization state.
@@ -107,6 +152,14 @@ type Shard struct {
 	snap []Time
 
 	neighbors []*Shard
+
+	// done marks the shard finished for the current Run: no local work at
+	// or before the run bound and every neighbor promised past it. Only
+	// the threaded executor uses it; done never reverts within a Run.
+	done bool
+
+	// util is this shard's utilization record, reset by Run.
+	util ShardUtil
 }
 
 // Kernel returns the shard's event kernel.
@@ -214,16 +267,17 @@ func (sh *Shard) bound() Time {
 //
 //	h = min(earliest pending tx event,
 //	        next local event + lookahead,
-//	        min snapshotted neighbor horizon + lookahead)
+//	        min snapshotted neighbor horizon + msgLookahead)
 //
 // The first term is exact. The second covers transmissions that pending
 // events may yet schedule (always at least lookahead ahead of the event
 // that schedules them). The third covers transmissions caused by messages
 // this shard has not received yet: any future message arrives no earlier
-// than its sender's snapshotted horizon, and can only cause transmissions
-// at least lookahead later. The result is monotone, so the stored horizon
-// never retreats.
-func (sh *Shard) publish() {
+// than its sender's snapshotted horizon, and by the message-lookahead
+// contract its callback chain cannot fire a transmission sooner than
+// msgLookahead after its own timestamp. The result is monotone, so the
+// stored horizon never retreats.
+func (sh *Shard) publish() bool {
 	h := Never
 	if len(sh.borderQ) > 0 {
 		h = sh.borderQ[0]
@@ -234,22 +288,26 @@ func (sh *Shard) publish() {
 			h = t
 		}
 	}
+	mla := sh.set.msgLookahead
 	for _, t := range sh.snap {
-		if t+la < h {
-			h = t + la
+		if t+mla < h {
+			h = t + mla
 		}
 	}
 	if h > sh.loadHorizon() {
 		sh.storeHorizon(h)
 		sh.set.notify()
+		return true
 	}
+	return false
 }
 
 // ShardSet is a partition of one simulation across S kernels. Build the
 // set, pin every node's events to its home shard's kernel, then Run.
 type ShardSet struct {
-	shards    []*Shard
-	lookahead Duration
+	shards       []*Shard
+	lookahead    Duration
+	msgLookahead Duration
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -275,7 +333,8 @@ type ShardSet struct {
 // delay between an event executing and the earliest transmission it can
 // schedule — for the 802.11-style MAC, min(SIFS, DIFS). It must be positive
 // when n > 1: with zero lookahead no shard could ever promise its neighbors
-// a horizon ahead of its own clock, and the set would deadlock.
+// a horizon ahead of its own clock, and the set would deadlock. The message
+// lookahead starts equal to lookahead (always sound); see SetMsgLookahead.
 func NewShardSet(n int, lookahead Duration) *ShardSet {
 	if n < 1 {
 		panic(fmt.Sprintf("sim: NewShardSet: need at least one shard, got %d", n))
@@ -283,7 +342,7 @@ func NewShardSet(n int, lookahead Duration) *ShardSet {
 	if n > 1 && lookahead <= 0 {
 		panic(fmt.Sprintf("sim: NewShardSet: lookahead must be positive with %d shards, got %v", n, lookahead))
 	}
-	s := &ShardSet{lookahead: lookahead}
+	s := &ShardSet{lookahead: lookahead, msgLookahead: lookahead}
 	s.cond = sync.NewCond(&s.mu)
 	s.shards = make([]*Shard, n)
 	for i := range s.shards {
@@ -311,6 +370,24 @@ func NewShardSet(n int, lookahead Duration) *ShardSet {
 	return s
 }
 
+// SetMsgLookahead raises the message lookahead: the caller's promise that a
+// cross-shard message's callback chain schedules no transmission earlier
+// than d after the message's own timestamp. It must be at least the base
+// lookahead. The kernel spot-checks the promise where it can — a border
+// transmission scheduled directly from a message callback below the bound
+// panics — but deeper chains are the caller's proof obligation (for the
+// radio model: a message is a frame registration whose event chain starts
+// only after the frame's airtime, see node.Build).
+func (s *ShardSet) SetMsgLookahead(d Duration) {
+	if d < s.lookahead {
+		panic(fmt.Sprintf("sim: SetMsgLookahead: %v is below the base lookahead %v", d, s.lookahead))
+	}
+	s.msgLookahead = d
+}
+
+// MsgLookahead returns the message lookahead bound.
+func (s *ShardSet) MsgLookahead() Duration { return s.msgLookahead }
+
 // Shards returns the number of shards in the set.
 func (s *ShardSet) Shards() int { return len(s.shards) }
 
@@ -332,6 +409,18 @@ func (s *ShardSet) Processed() uint64 {
 		n += sh.k.processed
 	}
 	return n
+}
+
+// Utilization returns each shard's utilization record for the last Run:
+// events executed, null-message republishes, executor parks, and blocked
+// wall-clock time. It must not be called while Run is in flight.
+func (s *ShardSet) Utilization() []ShardUtil {
+	out := make([]ShardUtil, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.util
+		out[i].Events = sh.k.processed
+	}
+	return out
 }
 
 // Stop makes Run return after the events currently executing. Like
@@ -436,83 +525,192 @@ func (s *ShardSet) countEvent(sh *Shard) bool {
 // Run executes all shards until each has drained its events up to until (the
 // clocks are then advanced to until, mirroring Kernel.Run), Stop is called,
 // a limit trips, or an ambiguous timestamp tie is detected (ErrShardTie).
-// With one shard it is exactly Kernel.Run. The executor is chosen by
-// IC_SHARD_EXEC (seq|par); unset, it is threaded when GOMAXPROCS > 1 and
-// sequential otherwise, where the parallel protocol's synchronization buys
-// nothing.
+// With one shard it is exactly Kernel.Run.
+//
+// Executor selection: IC_SHARD_EXEC=seq pins the sequential executor,
+// IC_SHARD_EXEC=par pins one slot goroutine per shard, and
+// IC_SHARD_GROUPS=N pins N slots. Unset, Run asks the core-token budget
+// for extra slots beyond the calling goroutine's and sizes the executor to
+// what is spare, capped at GOMAXPROCS — so a lone replica on an idle
+// multi-core host parallelizes fully, while replicas racing a saturated
+// worker pool degrade to the sequential executor instead of thrashing.
 func (s *ShardSet) Run(until Time) error {
 	s.stopped.Store(false)
 	s.errMu.Lock()
 	s.err = nil
 	s.errMu.Unlock()
+	for _, sh := range s.shards {
+		sh.done = false
+		sh.util = ShardUtil{}
+	}
 	if len(s.shards) == 1 {
 		return s.shards[0].k.Run(until)
 	}
-	par := runtime.GOMAXPROCS(0) > 1
+	groups := 0
+	release := 0
 	switch os.Getenv("IC_SHARD_EXEC") {
 	case "seq":
-		par = false
+		groups = 1
 	case "par":
-		par = true
+		groups = len(s.shards)
+	default:
+		if v := os.Getenv("IC_SHARD_GROUPS"); v != "" {
+			if parsed, err := strconv.Atoi(v); err == nil && parsed > 0 {
+				groups = parsed
+			}
+		}
+		if groups == 0 {
+			// Budgeted: the calling goroutine is one slot; take spare core
+			// tokens for the rest and return what the GOMAXPROCS cap or the
+			// shard count leaves unused.
+			extra := AcquireCores(len(s.shards) - 1)
+			groups = 1 + extra
+			if procs := runtime.GOMAXPROCS(0); groups > procs {
+				groups = procs
+			}
+			if groups > len(s.shards) {
+				groups = len(s.shards)
+			}
+			release = 1 + extra - groups
+			if release > 0 {
+				ReleaseCores(release)
+			}
+			defer ReleaseCores(groups - 1)
+		}
+		if groups > len(s.shards) {
+			groups = len(s.shards)
+		}
 	}
-	if !par {
+	if groups <= 1 {
 		return s.runSeq(until)
 	}
+	return s.runGroups(until, groups)
+}
+
+// runGroups is the threaded executor: the shards are split into groups
+// contiguous runs of shards, one slot goroutine per run. Contiguity means
+// most neighbor horizons are published by the same slot, so oversubscribed
+// hosts pay less cross-goroutine waiting.
+func (s *ShardSet) runGroups(until Time, groups int) error {
 	var wg sync.WaitGroup
-	for _, sh := range s.shards {
+	for g := 0; g < groups; g++ {
+		lo := g * len(s.shards) / groups
+		hi := (g + 1) * len(s.shards) / groups
 		wg.Add(1)
-		go func(sh *Shard) {
+		go func(slot []*Shard) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					s.fail(fmt.Errorf("sim: shard %d panicked: %v\n%s", sh.idx, r, debug.Stack()))
+					s.fail(fmt.Errorf("sim: shard slot %v panicked: %v\n%s", shardIndices(slot), r, debug.Stack()))
 				}
 			}()
-			sh.runPar(until)
-		}(sh)
+			s.slotLoop(until, slot)
+		}(s.shards[lo:hi])
 	}
 	wg.Wait()
 	return s.failure()
 }
 
-// runPar is the threaded executor's per-shard loop.
-func (sh *Shard) runPar(until Time) {
-	s := sh.set
-	k := sh.k
+func shardIndices(slot []*Shard) []int {
+	out := make([]int, len(slot))
+	for i, sh := range slot {
+		out[i] = sh.idx
+	}
+	return out
+}
+
+// slotLoop drives one executor slot: round-robin pumps over the slot's
+// live shards until all are done. When a full pass makes no progress the
+// slot is blocked on another slot's shards; it spins briefly only when
+// spare cores make a concurrent horizon advance plausible (never at
+// GOMAXPROCS=1, where yielding the timeslice cannot run the neighbor
+// mid-spin), then parks on the condition variable keyed to the horizon
+// generation it last observed — any horizon publish, post, or stop bumps
+// the generation and wakes it.
+func (s *ShardSet) slotLoop(until Time, slot []*Shard) {
+	spinBudget := 0
+	if runtime.GOMAXPROCS(0) > 1 {
+		spinBudget = 32
+	}
 	spins := 0
 	for {
 		if s.stopped.Load() {
 			return
 		}
 		genSeen := s.gen.Load()
-		sh.snapshot()
-		sh.drain()
-		bound := sh.bound()
 		progressed := false
-		for n := 0; n < 1024; n++ {
-			ev := k.peekLive()
-			if ev == nil || ev.at > until {
-				break
+		var waiting *Shard
+		for _, sh := range slot {
+			if sh.done {
+				continue
 			}
-			isMsg := ev.seq >= msgSeqBit
-			if ev.at > bound || (ev.at == bound && isMsg) {
-				break
+			if waiting == nil {
+				waiting = sh
 			}
-			if isMsg && ev.at == k.lastLocalAt {
-				s.fail(ErrShardTie)
+			if sh.pump(until) {
+				progressed = true
+			}
+			if s.stopped.Load() {
 				return
 			}
-			k.Step()
-			progressed = true
-			if !s.countEvent(sh) {
-				return
-			}
-			sh.publish()
 		}
-		sh.publish()
+		if waiting == nil {
+			return // every shard in the slot is done
+		}
 		if progressed {
 			spins = 0
 			continue
+		}
+		if s.gen.Load() != genSeen {
+			continue // something already moved; re-scan without waiting
+		}
+		start := time.Now()
+		if spins < spinBudget {
+			spins++
+			runtime.Gosched()
+		} else {
+			waiting.util.Parks++
+			s.sleep(genSeen)
+			spins = 0
+		}
+		waiting.util.BlockedNs += time.Since(start).Nanoseconds()
+	}
+}
+
+// pump snapshots neighbor horizons, drains the inbox, executes up to
+// pumpBatch safe events, and republishes the horizon. It reports whether
+// any event executed, and marks the shard done when no work at or before
+// until can ever reach it again.
+func (sh *Shard) pump(until Time) bool {
+	s := sh.set
+	k := sh.k
+	sh.snapshot()
+	sh.drain()
+	bound := sh.bound()
+	progressed := false
+	for n := 0; n < pumpBatch; n++ {
+		ev := k.peekLive()
+		if ev == nil || ev.at > until {
+			break
+		}
+		isMsg := ev.seq >= msgSeqBit
+		if ev.at > bound || (ev.at == bound && isMsg) {
+			break
+		}
+		if isMsg && ev.at == k.lastLocalAt {
+			s.fail(ErrShardTie)
+			return progressed
+		}
+		k.Step()
+		progressed = true
+		if !s.countEvent(sh) {
+			return progressed
+		}
+		sh.publish()
+	}
+	if advanced := sh.publish(); !progressed {
+		if advanced {
+			sh.util.NullRepublishes++
 		}
 		if ev := k.peekLive(); (ev == nil || ev.at > until) && !sh.mail.Load() && bound > until {
 			// Done: no local work at or before until, and every neighbor has
@@ -521,20 +719,11 @@ func (sh *Shard) runPar(until Time) {
 				k.now = until
 			}
 			sh.storeHorizon(Never)
+			sh.done = true
 			s.notify()
-			return
 		}
-		// Blocked on a neighbor. Spin briefly — on saturated hosts the
-		// neighbor's horizon usually advances within a few scheduler slices —
-		// then park on the condition variable.
-		if spins < 128 {
-			spins++
-			runtime.Gosched()
-			continue
-		}
-		s.sleep(genSeen)
-		spins = 0
 	}
+	return progressed
 }
 
 // runSeq is the sequential executor: one goroutine interleaves all shards

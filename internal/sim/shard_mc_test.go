@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestShardSetDeterministicAcrossGroups pins the grouped executor to the
+// determinism contract: any slot count between fully sequential and
+// goroutine-per-shard must produce the sequential transcript.
+func TestShardSetDeterministicAcrossGroups(t *testing.T) {
+	const until = Millisecond
+	run := func(exec, groups string) string {
+		t.Setenv("IC_SHARD_EXEC", exec)
+		t.Setenv("IC_SHARD_GROUPS", groups)
+		cs := newChainSpec(4)
+		if err := cs.set.Run(until); err != nil {
+			t.Fatalf("Run(exec=%q groups=%q): %v", exec, groups, err)
+		}
+		return cs.transcript()
+	}
+	seq := run("seq", "")
+	if !strings.Contains(seq, "rx s1<-s0") {
+		t.Fatalf("sequential transcript did not exercise cross-shard posts:\n%s", seq)
+	}
+	for _, groups := range []string{"1", "2", "3", "4", "9"} {
+		if got := run("", groups); got != seq {
+			t.Fatalf("groups=%s diverged from sequential run:\nseq:\n%s\ngot:\n%s", groups, seq, got)
+		}
+	}
+}
+
+// TestShardSetDeterministicWithMsgLookahead: raising the message lookahead
+// only changes how fast horizons propagate, never what executes — the
+// transcript must match the base-lookahead run under every executor.
+func TestShardSetDeterministicWithMsgLookahead(t *testing.T) {
+	const until = Millisecond
+	run := func(exec string, msgLA Duration) string {
+		t.Setenv("IC_SHARD_EXEC", exec)
+		cs := newChainSpec(3)
+		if msgLA > 0 {
+			cs.set.SetMsgLookahead(msgLA)
+		}
+		if err := cs.set.Run(until); err != nil {
+			t.Fatalf("Run(%s, msgLA=%v): %v", exec, msgLA, err)
+		}
+		return cs.transcript()
+	}
+	want := run("seq", 0)
+	for _, exec := range []string{"seq", "par"} {
+		for _, msgLA := range []Duration{5 * testLookahead, 100 * testLookahead} {
+			if got := run(exec, msgLA); got != want {
+				t.Fatalf("exec=%s msgLA=%v diverged:\nwant:\n%s\ngot:\n%s", exec, msgLA, want, got)
+			}
+		}
+	}
+}
+
+// TestSetMsgLookaheadValidation: the message lookahead is a promise at
+// least as strong as the base lookahead; weakening it must fail loud.
+func TestSetMsgLookaheadValidation(t *testing.T) {
+	set := NewShardSet(2, testLookahead)
+	if got := set.MsgLookahead(); got != testLookahead {
+		t.Fatalf("default MsgLookahead = %v, want the base lookahead %v", got, testLookahead)
+	}
+	set.SetMsgLookahead(3 * testLookahead)
+	if got := set.MsgLookahead(); got != 3*testLookahead {
+		t.Fatalf("MsgLookahead = %v after SetMsgLookahead(3L), want %v", got, 3*testLookahead)
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("SetMsgLookahead below the base lookahead did not panic")
+		}
+	}()
+	set.SetMsgLookahead(testLookahead / 2)
+}
+
+// TestMsgLookaheadContractSpotCheck: a border transmission scheduled
+// directly from a message callback below the promised message lookahead
+// violates horizons already published on the strength of that promise, so
+// the kernel must panic rather than corrupt the run.
+func TestMsgLookaheadContractSpotCheck(t *testing.T) {
+	t.Setenv("IC_SHARD_EXEC", "seq")
+	set := NewShardSet(2, testLookahead)
+	set.SetMsgLookahead(4 * testLookahead)
+	k0, k1 := set.Kernel(0), set.Kernel(1)
+	k0.ScheduleFireTx(2*testLookahead, func() {
+		set.Post(k0, 1, k0.Now()+testLookahead/2, func(any) {
+			// Base lookahead alone is not enough once msgLookahead is 4L.
+			k1.ScheduleFireTx(testLookahead, func() {}, true)
+		}, nil)
+	}, true)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("border ScheduleFireTx below the message lookahead did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "SetMsgLookahead contract") {
+			t.Fatalf("panic = %v, want a SetMsgLookahead contract violation", r)
+		}
+	}()
+	_ = set.Run(Millisecond)
+}
+
+// TestShardUtilization: per-shard utilization must account every executed
+// event, and the threaded executor must record its synchronization work.
+func TestShardUtilization(t *testing.T) {
+	for _, exec := range []string{"seq", "par"} {
+		t.Run(exec, func(t *testing.T) {
+			t.Setenv("IC_SHARD_EXEC", exec)
+			cs := newChainSpec(3)
+			if err := cs.set.Run(Millisecond); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			util := cs.set.Utilization()
+			if len(util) != 3 {
+				t.Fatalf("Utilization returned %d records, want 3", len(util))
+			}
+			var events uint64
+			for _, u := range util {
+				events += u.Events
+			}
+			if events == 0 || events != cs.set.Processed() {
+				t.Fatalf("utilization accounts %d events, Processed() = %d", events, cs.set.Processed())
+			}
+		})
+	}
+}
+
+// TestCoreBudget: the token account must clamp at the budget, never go
+// negative, and drain back to zero after release.
+func TestCoreBudget(t *testing.T) {
+	t.Setenv("IC_CORE_BUDGET", "3")
+	if used := coreUsed.Load(); used != 0 {
+		t.Fatalf("core tokens leaked from a previous test: %d in use", used)
+	}
+	if got := AcquireCores(2); got != 2 {
+		t.Fatalf("AcquireCores(2) on an empty budget of 3 = %d, want 2", got)
+	}
+	if got := AcquireCores(5); got != 1 {
+		t.Fatalf("AcquireCores(5) with 1 spare = %d, want 1", got)
+	}
+	if got := AcquireCores(1); got != 0 {
+		t.Fatalf("AcquireCores(1) on an exhausted budget = %d, want 0", got)
+	}
+	if got := AcquireCores(0); got != 0 {
+		t.Fatalf("AcquireCores(0) = %d, want 0", got)
+	}
+	ReleaseCores(3)
+	ReleaseCores(0)
+	if used := coreUsed.Load(); used != 0 {
+		t.Fatalf("coreUsed = %d after releasing everything, want 0", used)
+	}
+}
+
+// TestShardSetRunReleasesCoreTokens: the budgeted executor path must return
+// every token it took, including the surplus released up front when
+// GOMAXPROCS caps the slot count below the grant.
+func TestShardSetRunReleasesCoreTokens(t *testing.T) {
+	t.Setenv("IC_SHARD_EXEC", "")
+	t.Setenv("IC_SHARD_GROUPS", "")
+	t.Setenv("IC_CORE_BUDGET", "8")
+	if used := coreUsed.Load(); used != 0 {
+		t.Fatalf("core tokens leaked from a previous test: %d in use", used)
+	}
+	cs := newChainSpec(4)
+	if err := cs.set.Run(Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if used := coreUsed.Load(); used != 0 {
+		t.Fatalf("coreUsed = %d after Run, want 0", used)
+	}
+}
