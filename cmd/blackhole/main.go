@@ -19,6 +19,7 @@ import (
 
 	ic "innercircle"
 	"innercircle/internal/cliutil"
+	"innercircle/internal/experiment"
 )
 
 func run() error {
@@ -34,6 +35,7 @@ func run() error {
 		prof    = cliutil.AddProfileFlags(flag.CommandLine)
 	)
 	applyShards := cliutil.AddShardsFlag(flag.CommandLine)
+	writeManifest := cliutil.AddManifestFlag(flag.CommandLine)
 	flag.Parse()
 	if err := applyShards(); err != nil {
 		return err
@@ -69,9 +71,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Println(throughput.StringWithCI())
-	fmt.Println(energy.StringWithCI())
-	return nil
+	rendered := throughput.StringWithCI() + "\n" + energy.StringWithCI() + "\n"
+	fmt.Print(rendered)
+	return writeManifest(&experiment.GridRequest{
+		Name: "blackhole", Kind: experiment.GridBlackhole,
+		Blackhole: &base, Malicious: counts, Levels: levels, Runs: *runs,
+	}, rendered)
 }
 
 func main() {

@@ -24,6 +24,7 @@ import (
 
 	ic "innercircle"
 	"innercircle/internal/cliutil"
+	"innercircle/internal/experiment"
 )
 
 func run() error {
@@ -41,6 +42,7 @@ func run() error {
 	)
 	applyShards := cliutil.AddShardsFlag(flag.CommandLine)
 	applyShardStats := cliutil.AddShardStatsFlag(flag.CommandLine)
+	writeManifest := cliutil.AddManifestFlag(flag.CommandLine)
 	flag.Parse()
 	if err := applyShards(); err != nil {
 		return err
@@ -106,13 +108,17 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Println(tables.Throughput.StringWithCI())
-	fmt.Println(tables.Energy.StringWithCI())
-	fmt.Println(tables.Injected.String())
-	fmt.Println(tables.Suppressed.String())
-	fmt.Println(tables.Leaked.String())
-	fmt.Println(tables.VerifiesAvoided.String())
-	return nil
+	rendered := tables.Throughput.StringWithCI() + "\n" +
+		tables.Energy.StringWithCI() + "\n" +
+		tables.Injected.String() + "\n" +
+		tables.Suppressed.String() + "\n" +
+		tables.Leaked.String() + "\n" +
+		tables.VerifiesAvoided.String() + "\n"
+	fmt.Print(rendered)
+	return writeManifest(&experiment.GridRequest{
+		Name: "faultsweep", Kind: experiment.GridCampaign,
+		Blackhole: &base, Campaigns: campaigns, Levels: levels, Runs: *runs,
+	}, rendered)
 }
 
 func main() {

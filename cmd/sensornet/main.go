@@ -19,6 +19,7 @@ import (
 
 	ic "innercircle"
 	"innercircle/internal/cliutil"
+	"innercircle/internal/experiment"
 )
 
 func run() error {
@@ -35,6 +36,7 @@ func run() error {
 	)
 	applyShards := cliutil.AddShardsFlag(flag.CommandLine)
 	applyShardStats := cliutil.AddShardStatsFlag(flag.CommandLine)
+	writeManifest := cliutil.AddManifestFlag(flag.CommandLine)
 	flag.Parse()
 	if err := applyShards(); err != nil {
 		return err
@@ -86,10 +88,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	for _, key := range []string{"miss", "false", "energyT", "energyNT", "latency", "locerr"} {
-		fmt.Println(tables[key].StringWithCI())
+	var rendered string
+	for _, key := range experiment.SensorTableKeys {
+		rendered += tables[key].StringWithCI() + "\n"
 	}
-	return nil
+	fmt.Print(rendered)
+	return writeManifest(&experiment.GridRequest{
+		Name: "sensornet", Kind: experiment.GridSensor,
+		Sensor: &base, Levels: levels, Faults: faults, Runs: *runs,
+	}, rendered)
 }
 
 func main() {

@@ -3,6 +3,7 @@
 package cliutil
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -11,6 +12,10 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
+
+	"innercircle/internal/artifact"
+	"innercircle/internal/experiment"
 )
 
 // Main runs a tool body and turns its error into the conventional
@@ -165,4 +170,43 @@ func Progress(quiet bool) io.Writer {
 		return nil
 	}
 	return os.Stderr
+}
+
+// AddManifestFlag registers the optional -manifest flag shared by the
+// sweep drivers. The returned writer is a no-op unless the flag was set;
+// called with the grid equivalent of the sweep just run and its rendered
+// tables, it writes an artifact.RunManifest carrying the same provenance
+// fields the experiment service records — so a CLI run and an icserved
+// job of the same grid are directly comparable by spec_sha256 and
+// tables_sha256.
+func AddManifestFlag(fs *flag.FlagSet) func(grid *experiment.GridRequest, renderedTables string) error {
+	path := fs.String("manifest", "", "write run provenance (artifact.RunManifest JSON) to this file")
+	start := time.Now()
+	return func(grid *experiment.GridRequest, renderedTables string) error {
+		if *path == "" {
+			return nil
+		}
+		if err := grid.Validate(); err != nil {
+			return err
+		}
+		spec, err := artifact.Canonical(grid)
+		if err != nil {
+			return err
+		}
+		m := artifact.RunManifest{
+			Name:         grid.Name,
+			SpecSHA256:   artifact.Sum(spec),
+			TablesSHA256: artifact.Sum([]byte(renderedTables)),
+			Seed:         grid.BaseSeed(),
+			GitRev:       artifact.GitRev(),
+			Knobs:        artifact.KnobSnapshot(),
+			WallMs:       float64(time.Since(start)) / float64(time.Millisecond),
+			CreatedAt:    artifact.Now(),
+		}
+		b, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(*path, append(b, '\n'), 0o644)
+	}
 }

@@ -29,39 +29,43 @@ import (
 
 // BlackholeConfig parameterizes one Fig. 7 run. Defaults (via
 // PaperBlackholeConfig) come from the Fig. 7 simulation-parameter box.
+// The JSON form is the experiment service's wire format (grid.go): every
+// knob that shapes the replica is tagged, and the per-replica runtime
+// Tracer is deliberately excluded — a config that reaches serialization
+// must not carry one.
 type BlackholeConfig struct {
-	Nodes       int     // 50
-	Region      float64 // 1000 m square
-	Speed       float64 // 10 m/s random waypoint
-	Pause       sim.Duration
-	Connections int     // 10 CBR connections
-	Rate        float64 // 4 packets/s
-	PacketBytes int     // 512
-	SimTime     sim.Time
-	TrafficFrom sim.Time // CBR start (lets STS converge)
-	Malicious   int
+	Nodes       int          `json:"nodes"`        // 50
+	Region      float64      `json:"region"`       // 1000 m square
+	Speed       float64      `json:"speed"`        // 10 m/s random waypoint
+	Pause       sim.Duration `json:"pause"`        //
+	Connections int          `json:"connections"`  // 10 CBR connections
+	Rate        float64      `json:"rate"`         // 4 packets/s
+	PacketBytes int          `json:"packet_bytes"` // 512
+	SimTime     sim.Time     `json:"sim_time"`
+	TrafficFrom sim.Time     `json:"traffic_from"` // CBR start (lets STS converge)
+	Malicious   int          `json:"malicious"`
 	// GrayProb, when positive, makes the malicious nodes gray holes that
 	// misbehave with this probability per opportunity instead of always.
-	GrayProb float64
+	GrayProb float64 `json:"gray_prob,omitempty"`
 	// Campaign, when non-nil, replaces the Malicious/GrayProb adversary
 	// with an arbitrary fault campaign (internal/faults). The legacy
 	// knobs are internally routed through the equivalent campaign preset,
 	// so Malicious=m and Campaign=&BlackholePreset(m) produce identical
 	// results. The campaign is read-only and may be shared by replicas.
-	Campaign *faults.Campaign
-	IC       bool
-	L        int
+	Campaign *faults.Campaign `json:"campaign,omitempty"`
+	IC       bool             `json:"ic"`
+	L        int              `json:"l"`
 	// Shards requests a partitioned replica (scenario.Spec.Shards). The
 	// blackhole scenario always falls back to one shard — random-waypoint
 	// mobility, CBR traffic and fault campaigns each rule sharding out —
 	// so the knob only pins that the fallback is result-identical.
-	Shards int
-	Seed   int64
+	Shards int   `json:"shards,omitempty"`
+	Seed   int64 `json:"seed"`
 	// Tracer, when non-nil, taps all wire traffic (slower; for debugging
 	// and the icsim tool). A tracer belongs to exactly one replica: the
 	// sweep entry points reject a config carrying one, because their
 	// parallel workers would all write into it concurrently.
-	Tracer *trace.Tracer
+	Tracer *trace.Tracer `json:"-"`
 }
 
 // PaperBlackholeConfig returns the Fig. 7 parameter box.
@@ -259,10 +263,18 @@ func blackholeSpec(cfg BlackholeConfig) *scenario.Spec {
 
 // RunBlackhole executes one Fig. 7 simulation run.
 func RunBlackhole(cfg BlackholeConfig) (BlackholeResult, error) {
+	out, _, err := runBlackholeShards(cfg)
+	return out, err
+}
+
+// runBlackholeShards is RunBlackhole plus the shard count the replica
+// actually executed with (scenario.Result.Shards) — provenance the
+// artifact manifests record without widening the ==-comparable result.
+func runBlackholeShards(cfg BlackholeConfig) (BlackholeResult, int, error) {
 	spec := blackholeSpec(cfg)
 	res, err := scenario.Run(spec)
 	if err != nil {
-		return BlackholeResult{}, fmt.Errorf("experiment: %w", err)
+		return BlackholeResult{}, 0, fmt.Errorf("experiment: %w", err)
 	}
 	out := BlackholeResult{
 		Sent:            int(res.Counter(scenario.CtrSent)),
@@ -277,7 +289,7 @@ func RunBlackhole(cfg BlackholeConfig) (BlackholeResult, error) {
 		out.FaultsLeaked = res.Counter(scenario.CtrFaultsLeaked)
 	}
 	out.VerifiesAvoided = res.Counter(scenario.CtrVoteMemoHits)
-	return out, nil
+	return out, res.Shards, nil
 }
 
 // corruptMark prefixes CBR payloads mangled by a corrupt fault, so the
@@ -302,20 +314,12 @@ func corruptPayload(e link.Env, _ *sim.RNG) (link.Env, bool) {
 	return e, true
 }
 
-// BlackholeSweep runs the full Fig. 7 sweep: configurations {No IC,
-// IC L=1, IC L=2} across malicious-node counts, repeated runs times, and
-// returns the throughput (Fig. 7a) and energy (Fig. 7b) tables.
-//
-// Replicas run on the parallel replica engine (see pool.go); results fold
-// into the tables in enumeration order, so the output is identical for any
-// worker count (IC_WORKERS overrides the default of one worker per core).
-func BlackholeSweep(base BlackholeConfig, maliciousCounts []int, levels []int, runs int, progress io.Writer) (throughput, energyTbl *stats.Table, err error) {
-	if base.Tracer != nil {
-		return nil, nil, fmt.Errorf("experiment: sweep config must not carry a Tracer — each replica needs its own (a shared one races across workers)")
-	}
-	throughput = stats.NewTable("Fig. 7(a) Network throughput [%]", "config \\ #malicious")
-	energyTbl = stats.NewTable("Fig. 7(b) Energy consumption [J/node]", "config \\ #malicious")
-
+// BlackholePoints enumerates the Fig. 7 sweep grid: configurations
+// {No IC, IC L=l...} × malicious-node counts × runs, with the sweep's
+// seed schedule (base.Seed + 1000·malicious + run). Enumeration order is
+// the contract both the sweeps and the experiment service's artifact
+// pipeline fold results in — tables are byte-identical either way.
+func BlackholePoints(base BlackholeConfig, maliciousCounts []int, levels []int, runs int) []GridPoint[BlackholeConfig] {
 	var points []GridPoint[BlackholeConfig]
 	for _, row := range configRows(levels) {
 		for _, m := range maliciousCounts {
@@ -337,13 +341,39 @@ func BlackholeSweep(base BlackholeConfig, maliciousCounts []int, levels []int, r
 			}
 		}
 	}
-	err = SweepGrid(points, RunBlackhole, progress,
+	return points
+}
+
+// NewBlackholeTables returns the empty Fig. 7 table pair.
+func NewBlackholeTables() (throughput, energyTbl *stats.Table) {
+	return stats.NewTable("Fig. 7(a) Network throughput [%]", "config \\ #malicious"),
+		stats.NewTable("Fig. 7(b) Energy consumption [J/node]", "config \\ #malicious")
+}
+
+// FoldBlackhole folds one replica result into the Fig. 7 tables.
+func FoldBlackhole(throughput, energyTbl *stats.Table, row, col string, res BlackholeResult) {
+	throughput.Add(row, col, res.Throughput)
+	energyTbl.Add(row, col, res.EnergyPerNode)
+}
+
+// BlackholeSweep runs the full Fig. 7 sweep: configurations {No IC,
+// IC L=1, IC L=2} across malicious-node counts, repeated runs times, and
+// returns the throughput (Fig. 7a) and energy (Fig. 7b) tables.
+//
+// Replicas run on the parallel replica engine (see pool.go); results fold
+// into the tables in enumeration order, so the output is identical for any
+// worker count (IC_WORKERS overrides the default of one worker per core).
+func BlackholeSweep(base BlackholeConfig, maliciousCounts []int, levels []int, runs int, progress io.Writer) (throughput, energyTbl *stats.Table, err error) {
+	if base.Tracer != nil {
+		return nil, nil, fmt.Errorf("experiment: sweep config must not carry a Tracer — each replica needs its own (a shared one races across workers)")
+	}
+	throughput, energyTbl = NewBlackholeTables()
+	err = SweepGrid(BlackholePoints(base, maliciousCounts, levels, runs), RunBlackhole, progress,
 		func(label string, res BlackholeResult) string {
 			return fmt.Sprintf("%s: throughput=%.1f%% energy=%.2f J\n", label, res.Throughput, res.EnergyPerNode)
 		},
 		func(row, col string, res BlackholeResult) {
-			throughput.Add(row, col, res.Throughput)
-			energyTbl.Add(row, col, res.EnergyPerNode)
+			FoldBlackhole(throughput, energyTbl, row, col, res)
 		})
 	if err != nil {
 		return nil, nil, err

@@ -1,0 +1,379 @@
+// Grid layer: the serializable face of the parameter sweeps.
+//
+// The experiment service (internal/serve) and the repro driver
+// (scripts/repro) do not call BlackholeSweep/SensorSweep/CampaignSweep
+// directly — those fold results as replicas finish and keep nothing. The
+// service instead needs three separable stages with a wire format at
+// each seam:
+//
+//	GridRequest ──Points()──▶ []ReplicaPoint ──Spec.Run()──▶ result bytes
+//	result bytes ──Tables()──▶ []*stats.Table ──Render()──▶ CLI text
+//
+// Every stage shares code with the in-process sweeps (the same
+// *Points/Fold*/New*Tables helpers), so a grid evaluated replica-by-
+// replica through the content-addressed store renders byte-identical
+// tables to the corresponding CLI. The canonical spec bytes double as
+// the store key: same spec + same seed → same result bytes → same
+// digest, at any worker/shard setting (the kernel's determinism
+// contract).
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"innercircle/internal/faults"
+	"innercircle/internal/sensor"
+	"innercircle/internal/stats"
+)
+
+// Replica spec kinds.
+const (
+	// ReplicaBlackhole runs one ad-hoc network replica (Fig. 7 / campaign).
+	ReplicaBlackhole = "blackhole"
+	// ReplicaSensorPair runs one sensor replica pair: the with-target run
+	// and its NoTarget sibling under the same seed (Fig. 8's unit of work).
+	ReplicaSensorPair = "sensorpair"
+)
+
+// ReplicaSpec is the wire form of one replica: a tagged union over the
+// experiment configs. Its canonical JSON bytes are hashed into the
+// content-addressed store's spec digest.
+type ReplicaSpec struct {
+	Kind      string           `json:"kind"`
+	Blackhole *BlackholeConfig `json:"blackhole,omitempty"`
+	Sensor    *SensorConfig    `json:"sensor,omitempty"`
+}
+
+// Validate checks the union discriminant and the config it selects.
+func (s ReplicaSpec) Validate() error {
+	switch s.Kind {
+	case ReplicaBlackhole:
+		if s.Blackhole == nil {
+			return fmt.Errorf("experiment: replica spec kind %q without a blackhole config", s.Kind)
+		}
+		if s.Sensor != nil {
+			return fmt.Errorf("experiment: replica spec kind %q carries a sensor config", s.Kind)
+		}
+		if s.Blackhole.Tracer != nil {
+			return fmt.Errorf("experiment: replica spec must not carry a Tracer")
+		}
+		if s.Blackhole.Campaign != nil {
+			if err := s.Blackhole.Campaign.Validate(); err != nil {
+				return fmt.Errorf("experiment: %w", err)
+			}
+		}
+	case ReplicaSensorPair:
+		if s.Sensor == nil {
+			return fmt.Errorf("experiment: replica spec kind %q without a sensor config", s.Kind)
+		}
+		if s.Blackhole != nil {
+			return fmt.Errorf("experiment: replica spec kind %q carries a blackhole config", s.Kind)
+		}
+	default:
+		return fmt.Errorf("experiment: unknown replica spec kind %q", s.Kind)
+	}
+	return nil
+}
+
+// Canonical returns the spec's canonical JSON bytes: Go struct-order
+// field emission with omitempty zero suppression, which is deterministic
+// for a fixed value — the property the content-addressed store keys on.
+func (s ReplicaSpec) Canonical() ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(s)
+}
+
+// Seed returns the replica's base seed (provenance for the manifest).
+func (s ReplicaSpec) Seed() int64 {
+	switch s.Kind {
+	case ReplicaBlackhole:
+		if s.Blackhole != nil {
+			return s.Blackhole.Seed
+		}
+	case ReplicaSensorPair:
+		if s.Sensor != nil {
+			return s.Sensor.Seed
+		}
+	}
+	return 0
+}
+
+// ReplicaResult is the wire form of one replica's outcome — the bytes the
+// content-addressed store holds. The executed shard count is deliberately
+// NOT part of this struct: it depends on IC_SHARDS, and including it
+// would break "same spec → same digest" across hosts; it travels in the
+// run manifest instead (see ReplicaSpec.Run's second return).
+type ReplicaResult struct {
+	Kind       string           `json:"kind"`
+	Blackhole  *BlackholeResult `json:"blackhole,omitempty"`
+	SensorPair *SensorPair      `json:"sensor_pair,omitempty"`
+}
+
+// Run executes the replica and returns its canonical result bytes plus
+// the shard count the kernel actually used (manifest provenance, not part
+// of the hashed bytes).
+func (s ReplicaSpec) Run() ([]byte, int, error) {
+	if err := s.Validate(); err != nil {
+		return nil, 0, err
+	}
+	var out ReplicaResult
+	var shards int
+	switch s.Kind {
+	case ReplicaBlackhole:
+		res, n, err := runBlackholeShards(*s.Blackhole)
+		if err != nil {
+			return nil, 0, err
+		}
+		out = ReplicaResult{Kind: s.Kind, Blackhole: &res}
+		shards = n
+	case ReplicaSensorPair:
+		pair, n, err := runSensorPairShards(*s.Sensor)
+		if err != nil {
+			return nil, 0, err
+		}
+		out = ReplicaResult{Kind: s.Kind, SensorPair: &pair}
+		shards = n
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		return nil, 0, err
+	}
+	return b, shards, nil
+}
+
+// DecodeReplicaResult parses result bytes produced by ReplicaSpec.Run
+// (directly or via the artifact store), rejecting unknown fields so a
+// store populated by a newer schema fails loudly instead of folding
+// zeros.
+func DecodeReplicaResult(b []byte) (ReplicaResult, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var r ReplicaResult
+	if err := dec.Decode(&r); err != nil {
+		return ReplicaResult{}, fmt.Errorf("experiment: decoding replica result: %w", err)
+	}
+	return r, nil
+}
+
+// Grid kinds: which paper sweep a GridRequest describes.
+const (
+	// GridBlackhole is the Fig. 7 sweep (rows × malicious counts).
+	GridBlackhole = "blackhole"
+	// GridSensor is the Fig. 8 sweep (rows × fault kinds, paired runs).
+	GridSensor = "sensor"
+	// GridCampaign is the fault-campaign sweep (rows × campaigns).
+	GridCampaign = "campaign"
+)
+
+// GridRequest is the wire form of one full experiment grid — what a
+// client POSTs to the experiment service and what the repro driver
+// submits per paper figure. It carries exactly the arguments of the
+// corresponding *Sweep entry point.
+type GridRequest struct {
+	// Name labels the grid in job listings and run manifests
+	// (e.g. "fig7-blackhole").
+	Name string `json:"name"`
+	// Kind selects the sweep: GridBlackhole, GridSensor or GridCampaign.
+	Kind string `json:"kind"`
+	// Blackhole is the base config for blackhole and campaign grids.
+	Blackhole *BlackholeConfig `json:"blackhole,omitempty"`
+	// Sensor is the base config for sensor grids.
+	Sensor *SensorConfig `json:"sensor,omitempty"`
+	// Malicious lists the blackhole grid's column counts.
+	Malicious []int `json:"malicious,omitempty"`
+	// Levels lists the IC dependability levels (rows are {No IC} ∪ {IC,L=l}).
+	Levels []int `json:"levels,omitempty"`
+	// Faults lists the sensor grid's fault-kind columns.
+	Faults []sensor.FaultKind `json:"faults,omitempty"`
+	// Campaigns lists the campaign grid's columns.
+	Campaigns []faults.Campaign `json:"campaigns,omitempty"`
+	// Runs is the replica count per grid point.
+	Runs int `json:"runs"`
+}
+
+// Validate checks the request is a well-formed instance of its kind.
+func (g *GridRequest) Validate() error {
+	if g.Runs <= 0 {
+		return fmt.Errorf("experiment: grid %q: runs must be positive, got %d", g.Name, g.Runs)
+	}
+	switch g.Kind {
+	case GridBlackhole:
+		if g.Blackhole == nil {
+			return fmt.Errorf("experiment: grid %q: kind %q needs a blackhole config", g.Name, g.Kind)
+		}
+		if g.Sensor != nil || len(g.Faults) > 0 || len(g.Campaigns) > 0 {
+			return fmt.Errorf("experiment: grid %q: kind %q carries fields of another kind", g.Name, g.Kind)
+		}
+		if g.Blackhole.Tracer != nil {
+			return fmt.Errorf("experiment: grid %q: config must not carry a Tracer", g.Name)
+		}
+		if len(g.Malicious) == 0 {
+			return fmt.Errorf("experiment: grid %q: kind %q needs malicious counts", g.Name, g.Kind)
+		}
+	case GridSensor:
+		if g.Sensor == nil {
+			return fmt.Errorf("experiment: grid %q: kind %q needs a sensor config", g.Name, g.Kind)
+		}
+		if g.Blackhole != nil || len(g.Malicious) > 0 || len(g.Campaigns) > 0 {
+			return fmt.Errorf("experiment: grid %q: kind %q carries fields of another kind", g.Name, g.Kind)
+		}
+		if len(g.Faults) == 0 {
+			return fmt.Errorf("experiment: grid %q: kind %q needs fault kinds", g.Name, g.Kind)
+		}
+	case GridCampaign:
+		if g.Blackhole == nil {
+			return fmt.Errorf("experiment: grid %q: kind %q needs a blackhole config", g.Name, g.Kind)
+		}
+		if g.Sensor != nil || len(g.Malicious) > 0 || len(g.Faults) > 0 {
+			return fmt.Errorf("experiment: grid %q: kind %q carries fields of another kind", g.Name, g.Kind)
+		}
+		if err := ValidateCampaignSweep(*g.Blackhole, g.Campaigns); err != nil {
+			return fmt.Errorf("grid %q: %w", g.Name, err)
+		}
+	default:
+		return fmt.Errorf("experiment: grid %q: unknown kind %q", g.Name, g.Kind)
+	}
+	return nil
+}
+
+// ReplicaPoint is one grid cell replica: its table coordinates plus the
+// self-contained spec that computes it.
+type ReplicaPoint struct {
+	Label string
+	Row   string
+	Col   string
+	Spec  ReplicaSpec
+}
+
+// BaseSeed returns the grid's base seed — the start of the per-replica
+// seed schedule, recorded in run manifests.
+func (g *GridRequest) BaseSeed() int64 {
+	switch {
+	case g.Blackhole != nil:
+		return g.Blackhole.Seed
+	case g.Sensor != nil:
+		return g.Sensor.Seed
+	}
+	return 0
+}
+
+// Points enumerates the grid's replicas in the same order — and with the
+// same seed schedule — as the corresponding in-process sweep. That order
+// is the folding contract: Tables consumes results positionally.
+func (g *GridRequest) Points() ([]ReplicaPoint, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	var out []ReplicaPoint
+	switch g.Kind {
+	case GridBlackhole:
+		for _, p := range BlackholePoints(*g.Blackhole, g.Malicious, g.Levels, g.Runs) {
+			cfg := p.Config
+			out = append(out, ReplicaPoint{Label: p.Label, Row: p.Row, Col: p.Col,
+				Spec: ReplicaSpec{Kind: ReplicaBlackhole, Blackhole: &cfg}})
+		}
+	case GridSensor:
+		for _, p := range SensorPoints(*g.Sensor, g.Levels, g.Faults, g.Runs) {
+			cfg := p.Config
+			out = append(out, ReplicaPoint{Label: p.Label, Row: p.Row, Col: p.Col,
+				Spec: ReplicaSpec{Kind: ReplicaSensorPair, Sensor: &cfg}})
+		}
+	case GridCampaign:
+		for _, p := range CampaignPoints(*g.Blackhole, g.Campaigns, g.Levels, g.Runs) {
+			cfg := p.Config
+			out = append(out, ReplicaPoint{Label: p.Label, Row: p.Row, Col: p.Col,
+				Spec: ReplicaSpec{Kind: ReplicaBlackhole, Blackhole: &cfg}})
+		}
+	}
+	return out, nil
+}
+
+// Tables folds result bytes (one per point, in Points order) into the
+// grid's figure tables. Because folding happens here in enumeration order
+// with the same Fold helpers the in-process sweeps use, a table rebuilt
+// from the artifact store is byte-identical to the live sweep's.
+func (g *GridRequest) Tables(results [][]byte) ([]*stats.Table, error) {
+	points, err := g.Points()
+	if err != nil {
+		return nil, err
+	}
+	if len(results) != len(points) {
+		return nil, fmt.Errorf("experiment: grid %q: %d results for %d points", g.Name, len(results), len(points))
+	}
+	decoded := make([]ReplicaResult, len(results))
+	for i, b := range results {
+		r, err := DecodeReplicaResult(b)
+		if err != nil {
+			return nil, fmt.Errorf("point %q: %w", points[i].Label, err)
+		}
+		decoded[i] = r
+	}
+	switch g.Kind {
+	case GridBlackhole:
+		throughput, energy := NewBlackholeTables()
+		for i, p := range points {
+			if decoded[i].Blackhole == nil {
+				return nil, fmt.Errorf("experiment: point %q: result kind %q, want blackhole", p.Label, decoded[i].Kind)
+			}
+			FoldBlackhole(throughput, energy, p.Row, p.Col, *decoded[i].Blackhole)
+		}
+		return []*stats.Table{throughput, energy}, nil
+	case GridSensor:
+		tables := NewSensorTables()
+		for i, p := range points {
+			if decoded[i].SensorPair == nil {
+				return nil, fmt.Errorf("experiment: point %q: result kind %q, want sensorpair", p.Label, decoded[i].Kind)
+			}
+			FoldSensor(tables, p.Row, p.Col, *decoded[i].SensorPair)
+		}
+		out := make([]*stats.Table, 0, len(SensorTableKeys))
+		for _, k := range SensorTableKeys {
+			out = append(out, tables[k])
+		}
+		return out, nil
+	case GridCampaign:
+		t := NewCampaignTables()
+		for i, p := range points {
+			if decoded[i].Blackhole == nil {
+				return nil, fmt.Errorf("experiment: point %q: result kind %q, want blackhole", p.Label, decoded[i].Kind)
+			}
+			FoldCampaign(t, p.Row, p.Col, *decoded[i].Blackhole)
+		}
+		return []*stats.Table{t.Throughput, t.Energy, t.Injected, t.Suppressed, t.Leaked, t.VerifiesAvoided}, nil
+	}
+	return nil, fmt.Errorf("experiment: grid %q: unknown kind %q", g.Name, g.Kind)
+}
+
+// Render prints the grid's tables exactly as the corresponding CLI does
+// (cmd/blackhole, cmd/sensornet, cmd/faultsweep): StringWithCI for the
+// figure tables, compact String for the campaign coverage counters, one
+// blank line after each — so service output is diffable against the
+// drivers'.
+func (g *GridRequest) Render(tables []*stats.Table) string {
+	var b bytes.Buffer
+	for i, t := range tables {
+		if g.Kind == GridCampaign && i >= 2 {
+			b.WriteString(t.String())
+		} else {
+			b.WriteString(t.StringWithCI())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the grid's tables in long CSV form, each preceded by a
+// `# <title>` comment line, for the repro analyzer's machine-readable
+// output.
+func (g *GridRequest) CSV(tables []*stats.Table) string {
+	var b bytes.Buffer
+	for _, t := range tables {
+		fmt.Fprintf(&b, "# %s\n", t.Title)
+		b.WriteString(t.CSV())
+	}
+	return b.String()
+}

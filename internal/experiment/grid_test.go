@@ -1,0 +1,210 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+
+	"innercircle/internal/faults"
+	"innercircle/internal/sensor"
+	"innercircle/internal/stats"
+)
+
+// TestReplicaSpecCanonicalDeterministic pins the store-key contract:
+// marshalling the same spec twice yields identical bytes, and running the
+// same spec twice yields identical result bytes — the property that makes
+// content addressing a dedup cache rather than a lottery.
+func TestReplicaSpecCanonicalDeterministic(t *testing.T) {
+	cfg := smallBlackhole()
+	cfg.SimTime = 30
+	cfg.Malicious = 2
+	spec := ReplicaSpec{Kind: ReplicaBlackhole, Blackhole: &cfg}
+	a, err := spec.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("canonical bytes differ:\n%s\n%s", a, b)
+	}
+	r1, _, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r1, r2) {
+		t.Fatalf("same spec produced different result bytes:\n%s\n%s", r1, r2)
+	}
+	res, err := DecodeReplicaResult(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Blackhole == nil || res.Blackhole.Sent == 0 {
+		t.Fatalf("decoded result lost its payload: %+v", res)
+	}
+}
+
+// TestDecodeReplicaResultRejectsUnknown: store bytes written by a newer
+// schema must fail loudly, not fold zeros into the tables.
+func TestDecodeReplicaResultRejectsUnknown(t *testing.T) {
+	if _, err := DecodeReplicaResult([]byte(`{"kind":"blackhole","blackhole":{"Sent":1},"extra":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+// TestReplicaSpecValidate covers the tagged union's error surface.
+func TestReplicaSpecValidate(t *testing.T) {
+	bh := smallBlackhole()
+	sn := PaperSensorConfig()
+	for _, tc := range []struct {
+		name string
+		spec ReplicaSpec
+		ok   bool
+	}{
+		{"blackhole ok", ReplicaSpec{Kind: ReplicaBlackhole, Blackhole: &bh}, true},
+		{"sensor ok", ReplicaSpec{Kind: ReplicaSensorPair, Sensor: &sn}, true},
+		{"unknown kind", ReplicaSpec{Kind: "warp"}, false},
+		{"missing config", ReplicaSpec{Kind: ReplicaBlackhole}, false},
+		{"cross config", ReplicaSpec{Kind: ReplicaBlackhole, Blackhole: &bh, Sensor: &sn}, false},
+	} {
+		err := tc.spec.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: error expected", tc.name)
+		}
+	}
+}
+
+// runGrid evaluates a grid the service way: enumerate points, run each
+// spec from its serialized form, fold the result bytes into tables.
+func runGrid(t *testing.T, g *GridRequest) []*stats.Table {
+	t.Helper()
+	points, err := g.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([][]byte, len(points))
+	for i, p := range points {
+		b, _, err := p.Spec.Run()
+		if err != nil {
+			t.Fatalf("point %q: %v", p.Label, err)
+		}
+		results[i] = b
+	}
+	tables, err := g.Tables(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tables
+}
+
+// TestGridMatchesSweeps pins the acceptance criterion that matters most:
+// the grid layer (replica specs run one by one, results folded from their
+// wire bytes) renders tables byte-identical to the in-process sweeps the
+// CLIs call. Float64 values survive a JSON round-trip exactly, and both
+// paths share the Points/Fold helpers, so any divergence is a real bug.
+func TestGridMatchesSweeps(t *testing.T) {
+	t.Run("blackhole", func(t *testing.T) {
+		base := smallBlackhole()
+		base.SimTime = 30
+		thr, eng, err := BlackholeSweep(base, []int{0, 2}, []int{1}, 2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := &GridRequest{Name: "t", Kind: GridBlackhole, Blackhole: &base,
+			Malicious: []int{0, 2}, Levels: []int{1}, Runs: 2}
+		tables := runGrid(t, g)
+		want := thr.StringWithCI() + "\n" + eng.StringWithCI() + "\n"
+		if got := g.Render(tables); got != want {
+			t.Fatalf("grid tables differ from sweep tables:\n--- sweep ---\n%s--- grid ---\n%s", want, got)
+		}
+	})
+	t.Run("sensor", func(t *testing.T) {
+		base := PaperSensorConfig()
+		base.Seed = 5
+		base.SimTime = 100
+		kinds := []sensor.FaultKind{sensor.FaultNone}
+		sw, err := SensorSweep(base, []int{3}, kinds, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := &GridRequest{Name: "t", Kind: GridSensor, Sensor: &base,
+			Levels: []int{3}, Faults: kinds, Runs: 1}
+		tables := runGrid(t, g)
+		var want bytes.Buffer
+		for _, k := range SensorTableKeys {
+			want.WriteString(sw[k].StringWithCI())
+			want.WriteByte('\n')
+		}
+		if got := g.Render(tables); got != want.String() {
+			t.Fatalf("grid tables differ from sweep tables:\n--- sweep ---\n%s--- grid ---\n%s", want.String(), got)
+		}
+	})
+	t.Run("campaign", func(t *testing.T) {
+		base := smallBlackhole()
+		base.SimTime = 30
+		campaigns := []faults.Campaign{faults.BlackholePreset(2)}
+		ct, err := CampaignSweep(base, campaigns, []int{1}, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := &GridRequest{Name: "t", Kind: GridCampaign, Blackhole: &base,
+			Campaigns: campaigns, Levels: []int{1}, Runs: 1}
+		tables := runGrid(t, g)
+		want := ct.Throughput.StringWithCI() + "\n" + ct.Energy.StringWithCI() + "\n" +
+			ct.Injected.String() + "\n" + ct.Suppressed.String() + "\n" +
+			ct.Leaked.String() + "\n" + ct.VerifiesAvoided.String() + "\n"
+		if got := g.Render(tables); got != want {
+			t.Fatalf("grid tables differ from sweep tables:\n--- sweep ---\n%s--- grid ---\n%s", want, got)
+		}
+	})
+}
+
+// TestGridRequestValidate covers the request error surface the service
+// relies on to reject malformed submissions before queuing them.
+func TestGridRequestValidate(t *testing.T) {
+	bh := smallBlackhole()
+	sn := PaperSensorConfig()
+	for _, tc := range []struct {
+		name string
+		g    GridRequest
+		ok   bool
+	}{
+		{"blackhole ok", GridRequest{Kind: GridBlackhole, Blackhole: &bh, Malicious: []int{0}, Runs: 1}, true},
+		{"sensor ok", GridRequest{Kind: GridSensor, Sensor: &sn, Faults: []sensor.FaultKind{sensor.FaultNone}, Runs: 1}, true},
+		{"campaign ok", GridRequest{Kind: GridCampaign, Blackhole: &bh, Campaigns: []faults.Campaign{faults.BlackholePreset(1)}, Runs: 1}, true},
+		{"zero runs", GridRequest{Kind: GridBlackhole, Blackhole: &bh, Malicious: []int{0}}, false},
+		{"unknown kind", GridRequest{Kind: "mystery", Runs: 1}, false},
+		{"blackhole without config", GridRequest{Kind: GridBlackhole, Malicious: []int{0}, Runs: 1}, false},
+		{"blackhole without malicious", GridRequest{Kind: GridBlackhole, Blackhole: &bh, Runs: 1}, false},
+		{"sensor with campaign fields", GridRequest{Kind: GridSensor, Sensor: &sn, Faults: []sensor.FaultKind{sensor.FaultNone}, Campaigns: []faults.Campaign{faults.BlackholePreset(1)}, Runs: 1}, false},
+		{"campaign without campaigns", GridRequest{Kind: GridCampaign, Blackhole: &bh, Runs: 1}, false},
+	} {
+		err := tc.g.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: error expected", tc.name)
+		}
+	}
+}
+
+// TestTableCSV pins the long-form CSV rendering the repro analyzer emits.
+func TestTableCSV(t *testing.T) {
+	tbl := stats.NewTable("T", "r")
+	tbl.Add("a,x", "c1", 1)
+	tbl.Add("a,x", "c1", 3)
+	tbl.Add("b", "c2", 2)
+	want := "row,col,n,mean,ci95\n\"a,x\",c1,2,2,1.9599999999999997\nb,c2,1,2,0\n"
+	if got := tbl.CSV(); got != want {
+		t.Fatalf("CSV mismatch:\ngot:  %q\nwant: %q", got, want)
+	}
+}

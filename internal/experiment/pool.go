@@ -12,6 +12,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"runtime/debug"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"innercircle/internal/sim"
 )
@@ -61,10 +63,21 @@ func Workers() int {
 // are discarded), and the enumeration-order first error among the replicas
 // that failed is returned.
 func RunJobs(jobs []Job, workers int, progress ProgressFunc) ([]any, error) {
+	return RunJobsCtx(context.Background(), jobs, workers, progress)
+}
+
+// RunJobsCtx is RunJobs under a context: cancelling ctx mid-sweep stops
+// feeding the queue, lets in-flight replicas finish (a replica cannot be
+// aborted mid-event; its partial work is never observed), and returns
+// ctx's error with the results completed so far in their slots. On return
+// every worker goroutine has exited and every core-budget token taken by
+// the pool has been released — the experiment service's drain path leans
+// on both guarantees.
+func RunJobsCtx(ctx context.Context, jobs []Job, workers int, progress ProgressFunc) ([]any, error) {
 	results := make([]any, len(jobs))
 	errs := make([]error, len(jobs))
 	if len(jobs) == 0 {
-		return results, nil
+		return results, ctx.Err()
 	}
 	if workers <= 0 {
 		workers = Workers()
@@ -95,6 +108,8 @@ func RunJobs(jobs []Job, workers int, progress ProgressFunc) ([]any, error) {
 			select {
 			case <-cancelled:
 				continue // drain the queue without starting more replicas
+			case <-ctx.Done():
+				continue
 			default:
 			}
 			// Charge one core token per in-flight replica so sharded
@@ -104,7 +119,9 @@ func RunJobs(jobs []Job, workers int, progress ProgressFunc) ([]any, error) {
 			// saturated pool's replicas from spawning shards-per-replica
 			// extra goroutines on top of the workers.
 			got := sim.AcquireCores(1)
+			trackInflight(1)
 			res, err := runOne(j)
+			trackInflight(-1)
 			sim.ReleaseCores(got)
 			mu.Lock()
 			if err != nil {
@@ -132,6 +149,8 @@ feed:
 		case jobCh <- j:
 		case <-cancelled:
 			break feed
+		case <-ctx.Done():
+			break feed
 		}
 	}
 	close(jobCh)
@@ -144,8 +163,40 @@ feed:
 			return results, err
 		}
 	}
-	return results, nil
+	return results, ctx.Err()
 }
+
+// inflight tracks replicas currently executing across every pool in the
+// process; peakInflight is its resettable high-water mark. The experiment
+// service's tests use the pair to assert that concurrent sweeps sized by
+// the core-token budget never oversubscribe the machine.
+var (
+	inflight     atomic.Int64
+	peakInflight atomic.Int64
+)
+
+func trackInflight(d int64) {
+	n := inflight.Add(d)
+	if d <= 0 {
+		return
+	}
+	for {
+		peak := peakInflight.Load()
+		if n <= peak || peakInflight.CompareAndSwap(peak, n) {
+			return
+		}
+	}
+}
+
+// InFlightReplicas returns the number of replicas executing right now.
+func InFlightReplicas() int { return int(inflight.Load()) }
+
+// PeakInFlightReplicas returns the high-water mark of concurrently
+// executing replicas since the last ResetPeakInFlight.
+func PeakInFlightReplicas() int { return int(peakInflight.Load()) }
+
+// ResetPeakInFlight clears the in-flight high-water mark.
+func ResetPeakInFlight() { peakInflight.Store(0) }
 
 // runOne executes one job, converting a panic into an error so a corrupted
 // replica cannot take down the whole sweep process.

@@ -1,0 +1,129 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"innercircle/internal/sim"
+)
+
+// TestRunJobsCtxCancel pins the drain contract the experiment service
+// leans on: cancelling mid-sweep lets in-flight replicas finish, skips
+// the queued remainder, returns ctx's error — and leaks neither worker
+// goroutines nor core-budget tokens.
+func TestRunJobsCtxCancel(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	baseTokens := sim.CoresInUse()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int64
+	release := make(chan struct{})
+	jobs := make([]Job, 32)
+	for i := range jobs {
+		idx := i
+		jobs[i] = Job{
+			Index: idx,
+			Label: "replica",
+			Run: func() (any, error) {
+				if started.Add(1) == 2 {
+					cancel() // cancel once the sweep is genuinely mid-flight
+				}
+				<-release
+				return idx, nil
+			},
+		}
+	}
+	done := make(chan struct{})
+	var results []any
+	var err error
+	go func() {
+		defer close(done)
+		results, err = RunJobsCtx(ctx, jobs, 4, nil)
+	}()
+	// Wait for the cancellation to have happened, then let the in-flight
+	// replicas complete.
+	for started.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunJobsCtx did not return after cancel")
+	}
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	n := started.Load()
+	if n >= int64(len(jobs)) {
+		t.Fatalf("cancel had no effect: all %d replicas started", n)
+	}
+	// Every replica that ran landed its result in its slot.
+	var landed int64
+	for _, r := range results {
+		if r != nil {
+			landed++
+		}
+	}
+	if landed == 0 || landed > n {
+		t.Fatalf("landed %d results, started %d", landed, n)
+	}
+
+	// No core-budget tokens may remain held once the pool has returned.
+	if got := sim.CoresInUse(); got != baseTokens {
+		t.Fatalf("core tokens leaked: %d held, baseline %d", got, baseTokens)
+	}
+	// Worker goroutines must all have exited; allow the runtime a moment
+	// to reap them.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline+1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d baseline", runtime.NumGoroutine(), baseline)
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if InFlightReplicas() != 0 {
+		t.Fatalf("in-flight counter stuck at %d", InFlightReplicas())
+	}
+}
+
+// TestRunJobsCtxPreCancelled: a context cancelled before the call must
+// still return promptly with no replicas started.
+func TestRunJobsCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var started atomic.Int64
+	jobs := []Job{{Index: 0, Label: "r", Run: func() (any, error) { started.Add(1); return nil, nil }}}
+	_, err := RunJobsCtx(ctx, jobs, 2, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if started.Load() != 0 {
+		t.Fatalf("pre-cancelled context still started %d replicas", started.Load())
+	}
+}
+
+// TestRunJobsErrorStillWins: a replica failure takes precedence over the
+// context error in the report, matching RunJobs's first-failure contract.
+func TestRunJobsCtxErrorPrecedence(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	jobs := []Job{{Index: 0, Label: "r", Run: func() (any, error) {
+		cancel()
+		return nil, boom
+	}}}
+	_, err := RunJobsCtx(ctx, jobs, 1, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("want the replica error, got %v", err)
+	}
+}

@@ -28,35 +28,36 @@ import (
 // SensorConfig parameterizes one Fig. 8 run. Node 0 is the base station at
 // the region's centre; the remaining Nodes-1 sensors sit on a jittered
 // grid.
+// The JSON form is the experiment service's wire format (grid.go).
 type SensorConfig struct {
-	Nodes          int     // 100 (1 base + 99 sensors)
-	Region         float64 // 200 m square
-	Range          float64 // 40 m
-	SimTime        sim.Time
-	SensePeriod    sim.Duration // 5 s, synchronized epochs
-	Lambda         float64      // 6.635
-	Model          sensor.SignalModel
-	TargetStart    sim.Time     // first target onset (50 s)
-	TargetPeriod   sim.Duration // 100 s
-	TargetDuration sim.Duration // 25 s
-	NoTarget       bool         // Fig. 8(d): run without any target
-	Faulty         int
-	Fault          sensor.FaultKind
-	FaultParams    sensor.FaultParams
-	IC             bool
-	L              int
-	Eta            float64 // FT-cluster threshold (5)
+	Nodes          int                `json:"nodes"`  // 100 (1 base + 99 sensors)
+	Region         float64            `json:"region"` // 200 m square
+	Range          float64            `json:"range"`  // 40 m
+	SimTime        sim.Time           `json:"sim_time"`
+	SensePeriod    sim.Duration       `json:"sense_period"` // 5 s, synchronized epochs
+	Lambda         float64            `json:"lambda"`       // 6.635
+	Model          sensor.SignalModel `json:"model"`
+	TargetStart    sim.Time           `json:"target_start"`       // first target onset (50 s)
+	TargetPeriod   sim.Duration       `json:"target_period"`      // 100 s
+	TargetDuration sim.Duration       `json:"target_duration"`    // 25 s
+	NoTarget       bool               `json:"no_target,omitempty"` // Fig. 8(d): run without any target
+	Faulty         int                `json:"faulty"`
+	Fault          sensor.FaultKind   `json:"fault"`
+	FaultParams    sensor.FaultParams `json:"fault_params"`
+	IC             bool               `json:"ic"`
+	L              int                `json:"l"`
+	Eta            float64            `json:"eta"` // FT-cluster threshold (5)
 	// Fusion selects the statistical fusion algorithm (ablation A3 in
 	// situ); default FusionCluster.
-	Fusion FusionAlg
+	Fusion FusionAlg `json:"fusion,omitempty"`
 	// UniformPlacement scatters sensors uniformly instead of on the
 	// default jittered grid. Uniform deployments have thin patches, which
 	// matters for the weak-signal miss-alarm results (§5.2).
-	UniformPlacement bool
+	UniformPlacement bool `json:"uniform_placement,omitempty"`
 	// Shards partitions the replica across parallel kernels (see
 	// scenario.Spec.Shards); 0 defers to IC_SHARDS.
-	Shards int
-	Seed   int64
+	Shards int   `json:"shards,omitempty"`
+	Seed   int64 `json:"seed"`
 }
 
 // FusionAlg selects the fault-tolerant fusion used by statistical voting.
@@ -557,13 +558,20 @@ func sensorSpec(cfg SensorConfig) (*scenario.Spec, error) {
 
 // RunSensor executes one Fig. 8 simulation run.
 func RunSensor(cfg SensorConfig) (SensorResult, error) {
+	out, _, err := runSensorShards(cfg)
+	return out, err
+}
+
+// runSensorShards is RunSensor plus the shard count the replica actually
+// executed with (provenance for the artifact manifests).
+func runSensorShards(cfg SensorConfig) (SensorResult, int, error) {
 	spec, err := sensorSpec(cfg)
 	if err != nil {
-		return SensorResult{}, err
+		return SensorResult{}, 0, err
 	}
 	res, err := scenario.Run(spec)
 	if err != nil {
-		return SensorResult{}, fmt.Errorf("experiment: %w", err)
+		return SensorResult{}, 0, fmt.Errorf("experiment: %w", err)
 	}
 	return SensorResult{
 		Targets:          int(res.Counter(ctrTargets)),
@@ -575,7 +583,37 @@ func RunSensor(cfg SensorConfig) (SensorResult, error) {
 		LocalizationErr:  res.Gauge(gaugeLocErr),
 		EnergyPerNode:    res.Gauge(scenario.GaugeEnergyPerNodeJ),
 		TrafficEnergy:    res.Gauge(gaugeTrafficE),
-	}, nil
+	}, res.Shards, nil
+}
+
+// SensorPair is one Fig. 8 grid point's paired replicas: the with-target
+// run (Figs. 8 a–c, e–f) and the no-target run (Fig. 8 d). The pair
+// shares a seed and reports together, as in the paper's sweep.
+type SensorPair struct {
+	Target   SensorResult `json:"target"`
+	NoTarget SensorResult `json:"no_target"`
+}
+
+// RunSensorPair executes one Fig. 8 grid point (both paired replicas).
+func RunSensorPair(cfg SensorConfig) (SensorPair, error) {
+	p, _, err := runSensorPairShards(cfg)
+	return p, err
+}
+
+// runSensorPairShards is RunSensorPair plus the executed shard count (the
+// maximum over the pair — provenance for the artifact manifests).
+func runSensorPairShards(cfg SensorConfig) (SensorPair, int, error) {
+	res, shards, err := runSensorShards(cfg)
+	if err != nil {
+		return SensorPair{}, 0, err
+	}
+	ntCfg := cfg
+	ntCfg.NoTarget = true
+	ntRes, ntShards, err := runSensorShards(ntCfg)
+	if err != nil {
+		return SensorPair{}, 0, err
+	}
+	return SensorPair{Target: res, NoTarget: ntRes}, max(shards, ntShards), nil
 }
 
 type baseNotif struct {
@@ -732,14 +770,13 @@ func fuse2(alg FusionAlg, obs []fusion.Vec, eta float64) fusion.Vec {
 	}
 }
 
-// SensorSweep runs the Fig. 8 sweep: configurations {No IC, IC L=2..7} ×
-// fault models, producing the six tables of Fig. 8 (a)–(f).
-//
-// Replicas run on the parallel replica engine (see pool.go); results fold
-// into the tables in enumeration order, so the output is identical for any
-// worker count (IC_WORKERS overrides the default of one worker per core).
-func SensorSweep(base SensorConfig, levels []int, faults []sensor.FaultKind, runs int, progress io.Writer) (map[string]*stats.Table, error) {
-	tables := map[string]*stats.Table{
+// SensorTableKeys is the Fig. 8 table order — the order the sensornet
+// CLI prints and the repro pipeline renders.
+var SensorTableKeys = []string{"miss", "false", "energyT", "energyNT", "latency", "locerr"}
+
+// NewSensorTables returns the six empty Fig. 8 tables.
+func NewSensorTables() map[string]*stats.Table {
+	return map[string]*stats.Table{
 		"miss":     stats.NewTable("Fig. 8(a) Miss alarm probability [%]", "config \\ fault"),
 		"false":    stats.NewTable("Fig. 8(b) False alarm probability [% per sensor-epoch]", "config \\ fault"),
 		"energyT":  stats.NewTable("Fig. 8(c) Energy consumption with target [J/node]", "config \\ fault"),
@@ -747,12 +784,14 @@ func SensorSweep(base SensorConfig, levels []int, faults []sensor.FaultKind, run
 		"latency":  stats.NewTable("Fig. 8(e) Target detection latency [s]", "config \\ fault"),
 		"locerr":   stats.NewTable("Fig. 8(f) Target localization error [m]", "config \\ fault"),
 	}
-	// One grid point covers a replica's paired runs: with the target
-	// (Figs. 8 a–c, e–f) and without (Fig. 8 d) — as in the sequential
-	// sweep, the pair shares a seed and reports together.
-	type sensorPair struct {
-		res, ntRes SensorResult
-	}
+}
+
+// SensorPoints enumerates the Fig. 8 sweep grid: configurations {No IC,
+// IC L=l...} × fault models × runs with the sweep's seed schedule
+// (base.Seed + run). One point covers a replica's paired runs (with and
+// without the target). Enumeration order is the folding contract shared
+// with the experiment service.
+func SensorPoints(base SensorConfig, levels []int, faults []sensor.FaultKind, runs int) []GridPoint[SensorConfig] {
 	var points []GridPoint[SensorConfig]
 	for _, row := range configRows(levels) {
 		for _, fault := range faults {
@@ -773,35 +812,40 @@ func SensorSweep(base SensorConfig, levels []int, faults []sensor.FaultKind, run
 			}
 		}
 	}
-	err := SweepGrid(points,
-		func(cfg SensorConfig) (sensorPair, error) {
-			res, err := RunSensor(cfg)
-			if err != nil {
-				return sensorPair{}, err
-			}
-			ntCfg := cfg
-			ntCfg.NoTarget = true
-			ntRes, err := RunSensor(ntCfg)
-			if err != nil {
-				return sensorPair{}, err
-			}
-			return sensorPair{res: res, ntRes: ntRes}, nil
-		},
+	return points
+}
+
+// FoldSensor folds one grid point's paired results into the Fig. 8
+// tables. Latency and localization error only exist when at least one
+// target was detected.
+func FoldSensor(tables map[string]*stats.Table, row, col string, p SensorPair) {
+	tables["miss"].Add(row, col, 100*p.Target.MissAlarm)
+	tables["false"].Add(row, col, p.Target.FalseAlarmProb)
+	tables["energyT"].Add(row, col, p.Target.EnergyPerNode)
+	if p.Target.Targets > p.Target.Missed {
+		tables["latency"].Add(row, col, p.Target.DetectionLatency)
+		tables["locerr"].Add(row, col, p.Target.LocalizationErr)
+	}
+	tables["energyNT"].Add(row, col, p.NoTarget.EnergyPerNode)
+}
+
+// SensorSweep runs the Fig. 8 sweep: configurations {No IC, IC L=2..7} ×
+// fault models, producing the six tables of Fig. 8 (a)–(f).
+//
+// Replicas run on the parallel replica engine (see pool.go); results fold
+// into the tables in enumeration order, so the output is identical for any
+// worker count (IC_WORKERS overrides the default of one worker per core).
+func SensorSweep(base SensorConfig, levels []int, faults []sensor.FaultKind, runs int, progress io.Writer) (map[string]*stats.Table, error) {
+	tables := NewSensorTables()
+	err := SweepGrid(SensorPoints(base, levels, faults, runs), RunSensorPair,
 		progress,
-		func(label string, p sensorPair) string {
+		func(label string, p SensorPair) string {
 			return fmt.Sprintf("%s: miss=%.0f%% false=%.2f%% lat=%.2fs loc=%.1fm E=%.2fJ/%.2fJ\n",
-				label, 100*p.res.MissAlarm, p.res.FalseAlarmProb,
-				p.res.DetectionLatency, p.res.LocalizationErr, p.res.EnergyPerNode, p.ntRes.EnergyPerNode)
+				label, 100*p.Target.MissAlarm, p.Target.FalseAlarmProb,
+				p.Target.DetectionLatency, p.Target.LocalizationErr, p.Target.EnergyPerNode, p.NoTarget.EnergyPerNode)
 		},
-		func(row, col string, p sensorPair) {
-			tables["miss"].Add(row, col, 100*p.res.MissAlarm)
-			tables["false"].Add(row, col, p.res.FalseAlarmProb)
-			tables["energyT"].Add(row, col, p.res.EnergyPerNode)
-			if p.res.Targets > p.res.Missed {
-				tables["latency"].Add(row, col, p.res.DetectionLatency)
-				tables["locerr"].Add(row, col, p.res.LocalizationErr)
-			}
-			tables["energyNT"].Add(row, col, p.ntRes.EnergyPerNode)
+		func(row, col string, p SensorPair) {
+			FoldSensor(tables, row, col, p)
 		})
 	if err != nil {
 		return nil, err

@@ -10,7 +10,8 @@ import (
 
 // Point is a position (or any 2-D observation) in metres.
 type Point struct {
-	X, Y float64
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
 }
 
 // String formats the point with centimetre precision.
@@ -46,7 +47,10 @@ func Centroid(pts []Point) Point {
 
 // Rect is an axis-aligned rectangle [MinX, MaxX] × [MinY, MaxY].
 type Rect struct {
-	MinX, MinY, MaxX, MaxY float64
+	MinX float64 `json:"min_x"`
+	MinY float64 `json:"min_y"`
+	MaxX float64 `json:"max_x"`
+	MaxY float64 `json:"max_y"`
 }
 
 // Square returns the square region [0, side] × [0, side], the deployment

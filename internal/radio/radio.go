@@ -19,11 +19,11 @@ import (
 // Params configure the physical layer.
 type Params struct {
 	// Range is the transmission (and carrier-sense) radius in metres.
-	Range float64
+	Range float64 `json:"range"`
 	// Bitrate is the channel rate in bits per second.
-	Bitrate float64
+	Bitrate float64 `json:"bitrate"`
 	// PropSpeed is the signal propagation speed in m/s.
-	PropSpeed float64
+	PropSpeed float64 `json:"prop_speed"`
 }
 
 // Default80211 returns the parameters used by the paper's ad hoc experiment.
@@ -312,6 +312,7 @@ func (c *Channel) probeDecide(cand int) {
 		c.useIndex = false
 	}
 }
+
 // r is the sender, down, or out of range) and schedules its resolution.
 func (c *Channel) propagate(r, tr *Transceiver, f Frame, src geo.Point, now sim.Time, d sim.Duration) {
 	if r == tr || r.down {

@@ -25,7 +25,7 @@ type Adversary interface {
 // control surfaces, the payload-corruption hook — is assembled once here
 // from the Env, so scenarios never hand-wire a faults.Fabric.
 type CampaignAdversary struct {
-	Campaign *faults.Campaign
+	Campaign *faults.Campaign `json:"campaign"`
 }
 
 // Budget implements Adversary: the campaign's Count selectors all draw

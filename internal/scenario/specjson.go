@@ -1,0 +1,212 @@
+// Spec JSON codec: the declarative subset of Spec round-trips through
+// JSON as a tagged union, so experiment services can accept scenarios on
+// the wire and manifests can record exactly what ran.
+//
+// The subset is honest about its limits. A Spec that carries live state —
+// application Components, a Tracer, pre-generated Keys, or a traffic
+// program with callback fields — is not data, and MarshalJSON refuses it
+// rather than silently dropping the parts that don't fit. What remains
+// (topology, stack parameters, CBR traffic, campaign adversaries) is the
+// entire surface the paper-reproduction pipeline needs.
+//
+// Round-trip contract, pinned by TestSpecJSONRoundTrip: for a
+// marshallable Spec, Marshal → Unmarshal → Marshal yields byte-identical
+// output, and Unmarshal rejects unknown fields so schema drift fails
+// loudly.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"innercircle/internal/energy"
+	"innercircle/internal/mac"
+	"innercircle/internal/radio"
+	"innercircle/internal/sim"
+	"innercircle/internal/sts"
+	"innercircle/internal/traffic"
+	"innercircle/internal/vote"
+)
+
+// Wire-format kind tags.
+const (
+	topoRandomWaypoint  = "random_waypoint"
+	topoBaseStationGrid = "base_station_grid"
+	trafficCBR          = "cbr"
+	adversaryCampaign   = "campaign"
+)
+
+// topologyJSON is the tagged union over the serializable topologies.
+type topologyJSON struct {
+	Kind            string           `json:"kind"`
+	RandomWaypoint  *RandomWaypoint  `json:"random_waypoint,omitempty"`
+	BaseStationGrid *BaseStationGrid `json:"base_station_grid,omitempty"`
+}
+
+// trafficJSON is the tagged union over the serializable traffic programs.
+// Epochs is deliberately absent: its OnEpoch/OnNode callbacks are code,
+// not data.
+type trafficJSON struct {
+	Kind string       `json:"kind"`
+	CBR  *traffic.CBR `json:"cbr,omitempty"`
+}
+
+// adversaryJSON is the tagged union over the serializable adversaries.
+type adversaryJSON struct {
+	Kind     string             `json:"kind"`
+	Campaign *CampaignAdversary `json:"campaign,omitempty"`
+}
+
+// stackJSON is Stack minus the three stateful fields (Keys, Tracer,
+// Components) the codec refuses.
+type stackJSON struct {
+	Radio        radio.Params  `json:"radio"`
+	MAC          mac.Params    `json:"mac"`
+	Energy       energy.Params `json:"energy"`
+	IC           bool          `json:"ic,omitempty"`
+	STS          sts.Config    `json:"sts"`
+	Vote         vote.Config   `json:"vote"`
+	MaxL         int           `json:"max_l,omitempty"`
+	SigWireBytes int           `json:"sig_wire_bytes,omitempty"`
+	STSStart     STSStart      `json:"sts_start"`
+}
+
+// specJSON is the wire form of a Spec.
+type specJSON struct {
+	Name      string         `json:"name"`
+	Nodes     int            `json:"nodes"`
+	Seed      int64          `json:"seed"`
+	SimTime   sim.Time       `json:"sim_time"`
+	Shards    int            `json:"shards,omitempty"`
+	Topology  *topologyJSON  `json:"topology,omitempty"`
+	Stack     stackJSON      `json:"stack"`
+	Traffic   *trafficJSON   `json:"traffic,omitempty"`
+	Adversary *adversaryJSON `json:"adversary,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler over the declarative subset. It
+// errors — rather than truncating — when the Spec carries state that
+// cannot round-trip: components, a tracer, key material, or a topology,
+// traffic program or adversary outside the serializable kinds.
+func (s Spec) MarshalJSON() ([]byte, error) {
+	if len(s.Stack.Components) > 0 {
+		return nil, fmt.Errorf("scenario %q: spec with components is not serializable (components are code, not data)", s.Name)
+	}
+	if s.Stack.Tracer != nil {
+		return nil, fmt.Errorf("scenario %q: spec with a tracer is not serializable", s.Name)
+	}
+	if s.Stack.Keys != nil {
+		return nil, fmt.Errorf("scenario %q: spec with pre-generated keys is not serializable", s.Name)
+	}
+	out := specJSON{
+		Name:    s.Name,
+		Nodes:   s.Nodes,
+		Seed:    s.Seed,
+		SimTime: s.SimTime,
+		Shards:  s.Shards,
+		Stack: stackJSON{
+			Radio:        s.Stack.Radio,
+			MAC:          s.Stack.MAC,
+			Energy:       s.Stack.Energy,
+			IC:           s.Stack.IC,
+			STS:          s.Stack.STS,
+			Vote:         s.Stack.Vote,
+			MaxL:         s.Stack.MaxL,
+			SigWireBytes: s.Stack.SigWireBytes,
+			STSStart:     s.Stack.STSStart,
+		},
+	}
+	switch t := s.Topology.(type) {
+	case nil:
+	case RandomWaypoint:
+		out.Topology = &topologyJSON{Kind: topoRandomWaypoint, RandomWaypoint: &t}
+	case BaseStationGrid:
+		out.Topology = &topologyJSON{Kind: topoBaseStationGrid, BaseStationGrid: &t}
+	default:
+		return nil, fmt.Errorf("scenario %q: topology %T is not serializable", s.Name, s.Topology)
+	}
+	switch tr := s.Traffic.(type) {
+	case nil:
+	case *traffic.CBR:
+		out.Traffic = &trafficJSON{Kind: trafficCBR, CBR: tr}
+	default:
+		return nil, fmt.Errorf("scenario %q: traffic program %T is not serializable (epoch programs carry callbacks)", s.Name, s.Traffic)
+	}
+	switch a := s.Adversary.(type) {
+	case nil:
+	case CampaignAdversary:
+		out.Adversary = &adversaryJSON{Kind: adversaryCampaign, Campaign: &a}
+	default:
+		return nil, fmt.Errorf("scenario %q: adversary %T is not serializable", s.Name, s.Adversary)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rejecting unknown fields at
+// every nesting level and unions whose kind tag and payload disagree.
+func (s *Spec) UnmarshalJSON(b []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var in specJSON
+	if err := dec.Decode(&in); err != nil {
+		return fmt.Errorf("scenario: decoding spec: %w", err)
+	}
+	*s = Spec{
+		Name:    in.Name,
+		Nodes:   in.Nodes,
+		Seed:    in.Seed,
+		SimTime: in.SimTime,
+		Shards:  in.Shards,
+		Stack: Stack{
+			Radio:        in.Stack.Radio,
+			MAC:          in.Stack.MAC,
+			Energy:       in.Stack.Energy,
+			IC:           in.Stack.IC,
+			STS:          in.Stack.STS,
+			Vote:         in.Stack.Vote,
+			MaxL:         in.Stack.MaxL,
+			SigWireBytes: in.Stack.SigWireBytes,
+			STSStart:     in.Stack.STSStart,
+		},
+	}
+	if in.Topology != nil {
+		switch in.Topology.Kind {
+		case topoRandomWaypoint:
+			if in.Topology.RandomWaypoint == nil {
+				return fmt.Errorf("scenario %q: topology kind %q without payload", in.Name, in.Topology.Kind)
+			}
+			s.Topology = *in.Topology.RandomWaypoint
+		case topoBaseStationGrid:
+			if in.Topology.BaseStationGrid == nil {
+				return fmt.Errorf("scenario %q: topology kind %q without payload", in.Name, in.Topology.Kind)
+			}
+			s.Topology = *in.Topology.BaseStationGrid
+		default:
+			return fmt.Errorf("scenario %q: unknown topology kind %q", in.Name, in.Topology.Kind)
+		}
+	}
+	if in.Traffic != nil {
+		switch in.Traffic.Kind {
+		case trafficCBR:
+			if in.Traffic.CBR == nil {
+				return fmt.Errorf("scenario %q: traffic kind %q without payload", in.Name, in.Traffic.Kind)
+			}
+			s.Traffic = in.Traffic.CBR
+		default:
+			return fmt.Errorf("scenario %q: unknown traffic kind %q", in.Name, in.Traffic.Kind)
+		}
+	}
+	if in.Adversary != nil {
+		switch in.Adversary.Kind {
+		case adversaryCampaign:
+			if in.Adversary.Campaign == nil {
+				return fmt.Errorf("scenario %q: adversary kind %q without payload", in.Name, in.Adversary.Kind)
+			}
+			s.Adversary = *in.Adversary.Campaign
+		default:
+			return fmt.Errorf("scenario %q: unknown adversary kind %q", in.Name, in.Adversary.Kind)
+		}
+	}
+	return nil
+}

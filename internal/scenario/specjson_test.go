@@ -1,0 +1,146 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"innercircle/internal/crypto/nsl"
+	"innercircle/internal/energy"
+	"innercircle/internal/faults"
+	"innercircle/internal/geo"
+	"innercircle/internal/mac"
+	"innercircle/internal/radio"
+	"innercircle/internal/sts"
+	"innercircle/internal/trace"
+	"innercircle/internal/traffic"
+	"innercircle/internal/vote"
+)
+
+// declSpec returns a fully-populated declarative Spec: every serializable
+// union arm in play, no stateful parts.
+func declSpec() Spec {
+	camp := faults.BlackholePreset(3)
+	return Spec{
+		Name:    "wire",
+		Nodes:   50,
+		Seed:    7,
+		SimTime: 300,
+		Shards:  2,
+		Topology: RandomWaypoint{
+			Region:   geo.Square(1000),
+			MaxSpeed: 10,
+			Pause:    1,
+		},
+		Stack: Stack{
+			Radio:        radio.Default80211(),
+			MAC:          mac.Default80211(),
+			Energy:       energy.NS2Default(),
+			IC:           true,
+			STS:          sts.DefaultConfig(),
+			Vote:         vote.Config{L: 2, RoundTimeout: 1, Retries: 2},
+			MaxL:         7,
+			SigWireBytes: 128,
+			STSStart:     STSStart{Jitter: 0.5},
+		},
+		Traffic:   &traffic.CBR{Connections: 10, Rate: 4, PacketBytes: 512, From: 5},
+		Adversary: CampaignAdversary{Campaign: &camp},
+	}
+}
+
+// TestSpecJSONRoundTrip pins the codec contract: a Validate-clean
+// declarative Spec survives Marshal → Unmarshal → Marshal with
+// byte-identical output, still Validate-clean.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	grid := declSpec()
+	grid.Topology = BaseStationGrid{Region: geo.Square(200), GridJitter: 4}
+	grid.Traffic = nil
+	grid.Adversary = nil
+	for _, tc := range []struct {
+		name string
+		spec Spec
+	}{
+		{"full manet", declSpec()},
+		{"sensor grid, no traffic, no adversary", grid},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.spec.Validate(); err != nil {
+				t.Fatalf("input spec invalid: %v", err)
+			}
+			first, err := json.Marshal(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back Spec
+			if err := json.Unmarshal(first, &back); err != nil {
+				t.Fatal(err)
+			}
+			if err := back.Validate(); err != nil {
+				t.Fatalf("round-tripped spec invalid: %v", err)
+			}
+			second, err := json.Marshal(back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first, second) {
+				t.Fatalf("re-marshal differs:\nfirst:  %s\nsecond: %s", first, second)
+			}
+		})
+	}
+}
+
+// TestSpecJSONRejectsState: a Spec carrying live state must refuse to
+// marshal instead of silently dropping it.
+func TestSpecJSONRejectsState(t *testing.T) {
+	withComponents := declSpec()
+	withComponents.Stack.Components = []Component{nil}
+	withTracer := declSpec()
+	withTracer.Stack.Tracer = trace.New(16)
+	withKeys := declSpec()
+	withKeys.Stack.Keys = []*nsl.KeyPair{}
+	withEpochs := declSpec()
+	withEpochs.Traffic = &traffic.Epochs{Period: 5}
+	for _, tc := range []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"components", withComponents, "components"},
+		{"tracer", withTracer, "tracer"},
+		{"keys", withKeys, "keys"},
+		{"epoch traffic", withEpochs, "not serializable"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := json.Marshal(tc.spec)
+			if err == nil {
+				t.Fatal("marshal accepted a stateful spec")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestSpecJSONRejectsUnknownFields: schema drift must fail loudly.
+func TestSpecJSONRejectsUnknownFields(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		in   string
+	}{
+		{"top level", `{"name":"x","nodes":1,"sim_time":1,"stack":{},"surprise":true}`},
+		{"nested stack", `{"name":"x","nodes":1,"sim_time":1,"stack":{"radio":{"range":1,"warp":9}}}`},
+		{"unknown topology kind", `{"name":"x","nodes":1,"sim_time":1,"stack":{},"topology":{"kind":"torus"}}`},
+		{"kind without payload", `{"name":"x","nodes":1,"sim_time":1,"stack":{},"topology":{"kind":"random_waypoint"}}`},
+		{"unknown traffic kind", `{"name":"x","nodes":1,"sim_time":1,"stack":{},"traffic":{"kind":"poisson"}}`},
+		{"unknown adversary kind", `{"name":"x","nodes":1,"sim_time":1,"stack":{},"adversary":{"kind":"wormhole"}}`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var s Spec
+			if err := json.Unmarshal([]byte(tc.in), &s); err == nil {
+				t.Fatalf("accepted %s", tc.in)
+			}
+		})
+	}
+}

@@ -20,14 +20,14 @@ import (
 //	         K·T / (d/d0)^k         otherwise
 type SignalModel struct {
 	// KT is the product K·T: power at the target times sampling duration.
-	KT float64
+	KT float64 `json:"kt"`
 	// K is the decay exponent k (the paper uses 2).
-	K float64
+	K float64 `json:"k"`
 	// D0 is the reference distance d0.
-	D0 float64
+	D0 float64 `json:"d0"`
 	// SigmaN is the noise standard deviation σ_N; measured energy is
 	// E = S + N² with N ~ N(0, σ_N).
-	SigmaN float64
+	SigmaN float64 `json:"sigma_n"`
 }
 
 // Paper returns the Fig. 8 parameter box: K·T = 20000, k = 2, σ_N = 1,
@@ -97,6 +97,36 @@ func (f FaultKind) String() string {
 	}
 }
 
+// ParseFaultKind inverts String: the name of a fault model (as used in
+// flags and the experiment service's JSON grids) back to its kind.
+func ParseFaultKind(s string) (FaultKind, error) {
+	for _, f := range AllFaultKinds() {
+		if f.String() == s {
+			return f, nil
+		}
+	}
+	return FaultNone, fmt.Errorf("sensor: unknown fault kind %q", s)
+}
+
+// MarshalText implements encoding.TextMarshaler: fault kinds travel as
+// their names in JSON (grids and manifests stay human-auditable).
+func (f FaultKind) MarshalText() ([]byte, error) {
+	if f < FaultNone || f > FaultPosition {
+		return nil, fmt.Errorf("sensor: unknown fault kind %d", int(f))
+	}
+	return []byte(f.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (f *FaultKind) UnmarshalText(b []byte) error {
+	k, err := ParseFaultKind(string(b))
+	if err != nil {
+		return err
+	}
+	*f = k
+	return nil
+}
+
 // AllFaultKinds lists the sweep order used by Fig. 8 (no-fault first).
 func AllFaultKinds() []FaultKind {
 	return []FaultKind{FaultNone, FaultInterference, FaultCalibration, FaultStuckAtZero, FaultPosition}
@@ -104,8 +134,8 @@ func AllFaultKinds() []FaultKind {
 
 // FaultParams are the fault-model magnitudes from the Fig. 8 box.
 type FaultParams struct {
-	Eclbr float64 // calibration multiplier (paper: 2)
-	Eintf float64 // interference noise multiplier (paper: 10)
+	Eclbr float64 `json:"eclbr"` // calibration multiplier (paper: 2)
+	Eintf float64 `json:"eintf"` // interference noise multiplier (paper: 10)
 }
 
 // PaperFaults returns ε_clbr = 2, ε_intf = 10.

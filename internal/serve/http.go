@@ -1,0 +1,182 @@
+// HTTP surface of the experiment service. Go 1.22 pattern routing; all
+// bodies are JSON except the rendered-table and event-stream endpoints,
+// which are text the CLIs and shell tools can consume directly.
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"innercircle/internal/experiment"
+)
+
+// Handler returns the service's HTTP mux:
+//
+//	POST /jobs              submit a grid (experiment.GridRequest JSON) → JobInfo
+//	GET  /jobs              list jobs
+//	GET  /jobs/{id}         one job's record
+//	GET  /jobs/{id}/events  JSONL progress; follows until the "end" line
+//	                        (add ?follow=0 for a non-blocking snapshot)
+//	GET  /jobs/{id}/tables  rendered figure tables (text, CLI-identical)
+//	GET  /jobs/{id}/tables.csv  long-form CSV of the same tables
+//	GET  /jobs/{id}/manifest    run manifest (artifact.RunManifest JSON)
+//	GET  /artifacts/{digest}    raw result bytes from the store
+//	GET  /healthz           liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Jobs())
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		writeJSON(w, http.StatusOK, j)
+	})
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/tables", s.handleJobFile(s.tablesPath, "text/plain; charset=utf-8"))
+	mux.HandleFunc("GET /jobs/{id}/tables.csv", s.handleJobFile(s.csvPath, "text/csv; charset=utf-8"))
+	mux.HandleFunc("GET /jobs/{id}/manifest", s.handleJobFile(s.manifestPath, "application/json"))
+	mux.HandleFunc("GET /artifacts/{digest}", func(w http.ResponseWriter, r *http.Request) {
+		b, err := s.store.GetResult(r.PathValue("digest"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var g experiment.GridRequest
+	if err := dec.Decode(&g); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("decoding grid request: %v", err))
+		return
+	}
+	j, err := s.Submit(&g)
+	if err != nil {
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), "queue full") {
+			code = http.StatusServiceUnavailable
+		}
+		httpError(w, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j)
+}
+
+// handleEvents serves a job's JSONL stream. By default it follows: lines
+// are flushed as they land and the response ends when the terminal "end"
+// line is written (or the client goes away). ?follow=0 returns whatever
+// exists right now.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Job(id); !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+	follow := r.URL.Query().Get("follow") != "0"
+	flusher, _ := w.(http.Flusher)
+	var offset int64
+	for {
+		n, terminal, err := s.copyEvents(w, id, offset)
+		offset += n
+		if n > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if err != nil || terminal || !follow {
+			return
+		}
+		// A queued/running job may simply not have produced its next line
+		// yet; a failed/done job without a terminal line (legacy stream)
+		// must not hang the client forever.
+		if j, ok := s.Job(id); !ok || (j.State != JobQueued && j.State != JobRunning && n == 0) {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// copyEvents streams complete lines from the job's event file starting at
+// offset, reporting how many bytes were consumed and whether the terminal
+// "end" line passed through.
+func (s *Server) copyEvents(w io.Writer, id string, offset int64) (n int64, terminal bool, err error) {
+	f, err := os.Open(s.eventsPath(id))
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		return 0, false, err
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		n += int64(len(line)) + 1
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return n, false, err
+		}
+		if bytes.Contains(line, []byte(`"type":"end"`)) {
+			return n, true, nil
+		}
+	}
+	return n, false, sc.Err()
+}
+
+// handleJobFile serves one of a job's result files, 404 until it exists.
+func (s *Server) handleJobFile(path func(id string) string, contentType string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if _, ok := s.Job(id); !ok {
+			httpError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		b, err := os.ReadFile(path(id))
+		if os.IsNotExist(err) {
+			httpError(w, http.StatusNotFound, "not available yet (job not done)")
+			return
+		}
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", contentType)
+		w.Write(b)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,594 @@
+// Package serve is the long-running experiment service behind
+// cmd/icserved: clients POST experiment grids (experiment.GridRequest),
+// a bounded FIFO queue fans their replicas onto the worker pool under the
+// core-token budget, every replica result lands in the content-addressed
+// artifact store (internal/artifact), and the grid's figure tables are
+// rebuilt from store bytes only — so a finished job's output is
+// re-derivable, dedupable, and byte-identical to the corresponding CLI's.
+//
+// Durability model. Job records live at jobs/<id>.json (atomic writes)
+// and replica results are persisted replica-by-replica as they finish, so
+// a crash or SIGTERM loses at most the in-flight replicas' work: on
+// restart, queued and running jobs re-enter the queue, and every replica
+// already in the store is a manifest hit that is never recomputed. A
+// job's JSONL event stream (jobs/<id>.events.jsonl) is rewritten on each
+// attempt and terminates with an "end" line — the signal clients follow.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"innercircle/internal/artifact"
+	"innercircle/internal/experiment"
+	"innercircle/internal/sim"
+)
+
+// Job states.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobInfo is a job's public record — what GET /jobs/{id} returns and what
+// jobs/<id>.json persists.
+type JobInfo struct {
+	ID        string                  `json:"id"`
+	Name      string                  `json:"name"`
+	State     string                  `json:"state"`
+	CreatedAt string                  `json:"created_at"`
+	Grid      *experiment.GridRequest `json:"grid"`
+	// Total is the grid's replica count; Computed and Cached split it into
+	// replicas this run executed versus artifact-store hits.
+	Total    int `json:"total,omitempty"`
+	Computed int `json:"computed,omitempty"`
+	Cached   int `json:"cached,omitempty"`
+	// TablesSHA256 digests the rendered tables of a done job.
+	TablesSHA256 string `json:"tables_sha256,omitempty"`
+	Error        string `json:"error,omitempty"`
+}
+
+// Event is one line of a job's JSONL progress stream. Type "point"
+// reports a replica (computed or served from the store); type "end"
+// terminates the stream with the job's final state.
+type Event struct {
+	Type string `json:"type"`
+	// Point fields.
+	Done      int    `json:"done,omitempty"`
+	Total     int    `json:"total,omitempty"`
+	Label     string `json:"label,omitempty"`
+	SpecSHA   string `json:"spec_sha256,omitempty"`
+	ResultSHA string `json:"result_sha256,omitempty"`
+	FromCache bool   `json:"from_cache,omitempty"`
+	// End fields.
+	State        string `json:"state,omitempty"`
+	Computed     int    `json:"computed,omitempty"`
+	Cached       int    `json:"cached,omitempty"`
+	TablesSHA256 string `json:"tables_sha256,omitempty"`
+	Error        string `json:"error,omitempty"`
+}
+
+// Options configures a Server.
+type Options struct {
+	// Dir is the service's state root: Dir/store holds the artifact store,
+	// Dir/jobs the job records, event streams and rendered tables.
+	Dir string
+	// Parallel is how many jobs run concurrently (default 1). Replicas
+	// within a job always run on the worker pool; Parallel only overlaps
+	// distinct jobs.
+	Parallel int
+	// QueueCap bounds the FIFO of queued jobs (default 64); Submit fails
+	// when the queue is full rather than buffering without limit.
+	QueueCap int
+	// Logf, when set, receives service log lines.
+	Logf func(format string, args ...any)
+}
+
+// Server owns the queue, the artifact store and the job records. Create
+// with New, serve HTTP via Handler, and drive the queue with Run.
+type Server struct {
+	opts  Options
+	store *artifact.Store
+
+	mu   sync.Mutex
+	jobs map[string]*JobInfo
+	seq  int
+
+	queue chan string
+}
+
+// New opens (creating if needed) the service state under opts.Dir and
+// requeues any job a previous process left queued or running.
+func New(opts Options) (*Server, error) {
+	if opts.Parallel <= 0 {
+		opts.Parallel = 1
+	}
+	if opts.QueueCap <= 0 {
+		opts.QueueCap = 64
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	store, err := artifact.Open(filepath.Join(opts.Dir, "store"))
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(jobsDir(opts.Dir), 0o755); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	s := &Server{
+		opts:  opts,
+		store: store,
+		jobs:  make(map[string]*JobInfo),
+		queue: make(chan string, opts.QueueCap),
+	}
+	if err := s.loadJobs(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Store returns the service's artifact store.
+func (s *Server) Store() *artifact.Store { return s.store }
+
+func jobsDir(root string) string { return filepath.Join(root, "jobs") }
+
+func (s *Server) jobPath(id string) string {
+	return filepath.Join(jobsDir(s.opts.Dir), id+".json")
+}
+
+func (s *Server) eventsPath(id string) string {
+	return filepath.Join(jobsDir(s.opts.Dir), id+".events.jsonl")
+}
+
+func (s *Server) tablesPath(id string) string {
+	return filepath.Join(jobsDir(s.opts.Dir), id+".tables.txt")
+}
+
+func (s *Server) csvPath(id string) string {
+	return filepath.Join(jobsDir(s.opts.Dir), id+".tables.csv")
+}
+
+func (s *Server) manifestPath(id string) string {
+	return filepath.Join(jobsDir(s.opts.Dir), id+".manifest.json")
+}
+
+// loadJobs restores job records from disk. Jobs found queued or running
+// (the process died under them) re-enter the queue in ID order — IDs are
+// sequence-numbered, so the order of their original submission holds.
+func (s *Server) loadJobs() error {
+	entries, err := os.ReadDir(jobsDir(s.opts.Dir))
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	var resume []string
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".json") || strings.HasSuffix(name, ".manifest.json") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(jobsDir(s.opts.Dir), name))
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		var j JobInfo
+		if err := json.Unmarshal(b, &j); err != nil {
+			return fmt.Errorf("serve: job record %s: %w", name, err)
+		}
+		s.jobs[j.ID] = &j
+		if n, ok := seqOf(j.ID); ok && n >= s.seq {
+			s.seq = n + 1
+		}
+		if j.State == JobQueued || j.State == JobRunning {
+			resume = append(resume, j.ID)
+		}
+	}
+	sort.Strings(resume)
+	for _, id := range resume {
+		j := s.jobs[id]
+		j.State = JobQueued
+		if err := s.persist(j); err != nil {
+			return err
+		}
+		select {
+		case s.queue <- id:
+			s.opts.Logf("serve: resuming job %s (%s)", id, j.Name)
+		default:
+			return fmt.Errorf("serve: queue too small to resume %d jobs (cap %d)", len(resume), s.opts.QueueCap)
+		}
+	}
+	return nil
+}
+
+func seqOf(id string) (int, bool) {
+	if !strings.HasPrefix(id, "j") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "j"))
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// persist writes a job record atomically. Callers must hold s.mu or own
+// the job exclusively.
+func (s *Server) persist(j *JobInfo) error {
+	b, err := json.Marshal(j)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return writeAtomic(s.jobPath(j.ID), b)
+}
+
+// Submit validates a grid, persists a queued job for it and enqueues it.
+// It fails when the queue is full (bounded FIFO, no unbounded buffering).
+func (s *Server) Submit(g *experiment.GridRequest) (JobInfo, error) {
+	if err := g.Validate(); err != nil {
+		return JobInfo{}, err
+	}
+	points, err := g.Points()
+	if err != nil {
+		return JobInfo{}, err
+	}
+	s.mu.Lock()
+	id := fmt.Sprintf("j%06d", s.seq)
+	s.seq++
+	j := &JobInfo{
+		ID:        id,
+		Name:      g.Name,
+		State:     JobQueued,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		Grid:      g,
+		Total:     len(points),
+	}
+	select {
+	case s.queue <- id:
+	default:
+		s.seq-- // the job never existed
+		s.mu.Unlock()
+		return JobInfo{}, fmt.Errorf("serve: job queue full (%d queued)", s.opts.QueueCap)
+	}
+	s.jobs[id] = j
+	err = s.persist(j)
+	info := *j
+	s.mu.Unlock()
+	if err != nil {
+		return JobInfo{}, err
+	}
+	s.opts.Logf("serve: queued job %s (%s, %d replicas)", id, g.Name, len(points))
+	return info, nil
+}
+
+// Job returns a snapshot of one job's record.
+func (s *Server) Job(id string) (JobInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobInfo{}, false
+	}
+	return *j, true
+}
+
+// Jobs returns snapshots of every job, in ID (= submission) order.
+func (s *Server) Jobs() []JobInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobInfo, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, *j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Run drives the job queue until ctx is cancelled, then drains: running
+// jobs stop at the next replica boundary (in-flight replicas finish and
+// their results persist), are re-marked queued for the next process, and
+// Run returns. It is the blocking heart of icserved.
+func (s *Server) Run(ctx context.Context) error {
+	var wg sync.WaitGroup
+	for i := 0; i < s.opts.Parallel; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case id := <-s.queue:
+					s.runJob(ctx, id)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// setState transitions a job and persists the record.
+func (s *Server) setState(id, state string, mut func(*JobInfo)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return
+	}
+	j.State = state
+	if mut != nil {
+		mut(j)
+	}
+	if err := s.persist(j); err != nil {
+		s.opts.Logf("serve: persisting job %s: %v", id, err)
+	}
+}
+
+// runJob executes one job: resolve every replica against the store, run
+// the misses on the worker pool (sized by the spare core-token budget),
+// then rebuild the grid's tables from store bytes only.
+func (s *Server) runJob(ctx context.Context, id string) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok || j.State != JobQueued {
+		s.mu.Unlock()
+		return
+	}
+	grid := j.Grid
+	s.mu.Unlock()
+	s.setState(id, JobRunning, nil)
+	start := time.Now()
+
+	ev, err := newEventLog(s.eventsPath(id))
+	if err != nil {
+		s.fail(id, ev, err)
+		return
+	}
+	defer ev.Close()
+
+	points, err := grid.Points()
+	if err != nil {
+		s.fail(id, ev, err)
+		return
+	}
+
+	// Resolve each point against the store: a manifest whose result object
+	// exists is a cache hit and is never recomputed.
+	type resolved struct {
+		spec      []byte
+		specSHA   string
+		resultSHA string
+		cached    bool
+	}
+	rs := make([]resolved, len(points))
+	var misses []int
+	for i, p := range points {
+		spec, err := p.Spec.Canonical()
+		if err != nil {
+			s.fail(id, ev, err)
+			return
+		}
+		rs[i] = resolved{spec: spec, specSHA: artifact.Sum(spec)}
+		if m, ok, err := s.store.GetManifest(rs[i].specSHA); err != nil {
+			s.fail(id, ev, err)
+			return
+		} else if ok && s.store.HasResult(m.ResultSHA256) {
+			rs[i].resultSHA = m.ResultSHA256
+			rs[i].cached = true
+		} else {
+			misses = append(misses, i)
+		}
+	}
+	done := 0
+	for i, p := range points {
+		if rs[i].cached {
+			done++
+			ev.Emit(Event{Type: "point", Done: done, Total: len(points), Label: p.Label,
+				SpecSHA: rs[i].specSHA, ResultSHA: rs[i].resultSHA, FromCache: true})
+		}
+	}
+
+	// Run the misses. Each replica persists its own result + manifest the
+	// moment it finishes — the unit of crash-recovery granularity.
+	if len(misses) > 0 {
+		maxW := experiment.Workers()
+		extra := sim.AcquireCores(maxW - 1)
+		workers := 1 + extra
+		jobs := make([]experiment.Job, len(misses))
+		for k, i := range misses {
+			i := i
+			p := points[i]
+			jobs[k] = experiment.Job{
+				Index: k,
+				Label: p.Label,
+				Run: func() (any, error) {
+					t0 := time.Now()
+					res, shards, err := p.Spec.Run()
+					if err != nil {
+						return nil, err
+					}
+					resultSHA, err := s.store.PutResult(res)
+					if err != nil {
+						return nil, err
+					}
+					err = s.store.PutManifest(artifact.Manifest{
+						SpecSHA256:   rs[i].specSHA,
+						ResultSHA256: resultSHA,
+						Seed:         p.Spec.Seed(),
+						GitRev:       artifact.GitRev(),
+						Knobs:        artifact.KnobSnapshot(),
+						Shards:       shards,
+						WallMs:       float64(time.Since(t0)) / float64(time.Millisecond),
+						CreatedAt:    artifact.Now(),
+					})
+					if err != nil {
+						return nil, err
+					}
+					return resultSHA, nil
+				},
+			}
+		}
+		_, err := experiment.RunJobsCtx(ctx, jobs, workers, func(nDone, _ int, jb experiment.Job, result any) {
+			i := misses[jb.Index]
+			rs[i].resultSHA = result.(string)
+			done++
+			ev.Emit(Event{Type: "point", Done: done, Total: len(points), Label: jb.Label,
+				SpecSHA: rs[i].specSHA, ResultSHA: rs[i].resultSHA})
+		})
+		sim.ReleaseCores(extra)
+		if ctx.Err() != nil {
+			// Drain: finished replicas are already in the store; hand the
+			// job back to the queue for the next process.
+			s.setState(id, JobQueued, nil)
+			s.opts.Logf("serve: job %s interrupted, requeued", id)
+			return
+		}
+		if err != nil {
+			s.fail(id, ev, err)
+			return
+		}
+	}
+
+	// Rebuild the tables from the store only: every result byte folded
+	// below was read back by digest, cached and computed alike.
+	results := make([][]byte, len(points))
+	for i := range points {
+		b, err := s.store.GetResult(rs[i].resultSHA)
+		if err != nil {
+			s.fail(id, ev, err)
+			return
+		}
+		results[i] = b
+	}
+	tables, err := grid.Tables(results)
+	if err != nil {
+		s.fail(id, ev, err)
+		return
+	}
+	rendered := grid.Render(tables)
+	tablesSHA := artifact.Sum([]byte(rendered))
+	if err := writeAtomic(s.tablesPath(id), []byte(rendered)); err != nil {
+		s.fail(id, ev, err)
+		return
+	}
+	if err := writeAtomic(s.csvPath(id), []byte(grid.CSV(tables))); err != nil {
+		s.fail(id, ev, err)
+		return
+	}
+	gridSpec, err := artifact.Canonical(grid)
+	if err != nil {
+		s.fail(id, ev, err)
+		return
+	}
+	manifest := artifact.RunManifest{
+		Name:         grid.Name,
+		SpecSHA256:   artifact.Sum(gridSpec),
+		TablesSHA256: tablesSHA,
+		Seed:         grid.BaseSeed(),
+		GitRev:       artifact.GitRev(),
+		Knobs:        artifact.KnobSnapshot(),
+		WallMs:       float64(time.Since(start)) / float64(time.Millisecond),
+		CreatedAt:    artifact.Now(),
+	}
+	mb, err := json.Marshal(manifest)
+	if err != nil {
+		s.fail(id, ev, err)
+		return
+	}
+	if err := writeAtomic(s.manifestPath(id), mb); err != nil {
+		s.fail(id, ev, err)
+		return
+	}
+	computed := len(misses)
+	cached := len(points) - computed
+	s.setState(id, JobDone, func(j *JobInfo) {
+		j.Computed = computed
+		j.Cached = cached
+		j.TablesSHA256 = tablesSHA
+		j.Error = ""
+	})
+	ev.Emit(Event{Type: "end", State: JobDone, Computed: computed, Cached: cached, TablesSHA256: tablesSHA})
+	s.opts.Logf("serve: job %s done (%d computed, %d cached, tables %s)", id, computed, cached, tablesSHA[:12])
+}
+
+// fail marks a job failed and terminates its event stream.
+func (s *Server) fail(id string, ev *eventLog, err error) {
+	s.opts.Logf("serve: job %s failed: %v", id, err)
+	s.setState(id, JobFailed, func(j *JobInfo) { j.Error = err.Error() })
+	if ev != nil {
+		ev.Emit(Event{Type: "end", State: JobFailed, Error: err.Error()})
+	}
+}
+
+// eventLog appends JSONL events to a job's stream file. Emit is
+// serialized by the pool's progress contract plus the cached-prefix loop
+// running before the pool starts; a mutex keeps it safe regardless.
+type eventLog struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// newEventLog truncates and reopens a job's event stream — each run
+// attempt rewrites the stream from its own cache-resolution state.
+func newEventLog(path string) (*eventLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	return &eventLog{f: f}, nil
+}
+
+// Emit appends one event line and syncs it to disk.
+func (l *eventLog) Emit(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	if _, err := l.f.Write(append(b, '\n')); err == nil {
+		l.f.Sync()
+	}
+}
+
+// Close closes the stream file.
+func (l *eventLog) Close() { l.f.Close() }
+
+// writeAtomic writes b to path via tmp+fsync+rename.
+func writeAtomic(path string, b []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("serve: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("serve: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("serve: %w", err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"innercircle/internal/experiment"
+)
+
+// quickGrid returns a 4-replica blackhole grid small enough for tests.
+func quickGrid(name string, seed int64) *experiment.GridRequest {
+	cfg := experiment.PaperBlackholeConfig()
+	cfg.Nodes = 30
+	cfg.SimTime = 20
+	cfg.Seed = seed
+	return &experiment.GridRequest{
+		Name:      name,
+		Kind:      experiment.GridBlackhole,
+		Blackhole: &cfg,
+		Malicious: []int{0, 2},
+		Levels:    []int{1},
+		Runs:      1,
+	}
+}
+
+// startServer spins up a Server plus its HTTP front on a temp dir and
+// returns a client; everything stops at test cleanup.
+func startServer(t *testing.T, dir string, parallel int) (*Server, *Client) {
+	t.Helper()
+	srv, err := New(Options{Dir: dir, Parallel: parallel, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Run(ctx)
+	}()
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		cancel()
+		<-done
+	})
+	return srv, &Client{Base: hs.URL}
+}
+
+// TestServiceDedup pins the tentpole acceptance criterion: submitting the
+// identical grid twice produces identical artifact digests and tables,
+// and the second job is served entirely from the store — zero recompute.
+func TestServiceDedup(t *testing.T) {
+	srv, c := startServer(t, t.TempDir(), 1)
+	ctx := context.Background()
+
+	grid := quickGrid("dedup", 11)
+	j1, err := c.Submit(ctx, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var firstEvents []Event
+	j1, err = c.Wait(ctx, j1.ID, func(e Event) { firstEvents = append(firstEvents, e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1.State != JobDone {
+		t.Fatalf("first job state %q: %s", j1.State, j1.Error)
+	}
+	if j1.Computed != 4 || j1.Cached != 0 {
+		t.Fatalf("first job computed=%d cached=%d, want 4/0", j1.Computed, j1.Cached)
+	}
+
+	// The rendered tables must be byte-identical to the in-process sweep
+	// the CLI runs (store round-trip changes nothing).
+	thr, eng, err := experiment.BlackholeSweep(*grid.Blackhole, grid.Malicious, grid.Levels, grid.Runs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTables := thr.StringWithCI() + "\n" + eng.StringWithCI() + "\n"
+	gotTables, err := c.Tables(ctx, j1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotTables != wantTables {
+		t.Fatalf("service tables differ from CLI sweep:\n--- sweep ---\n%s--- service ---\n%s", wantTables, gotTables)
+	}
+	if csv, err := c.TablesCSV(ctx, j1.ID); err != nil || !strings.HasPrefix(csv, "# Fig. 7(a)") {
+		t.Fatalf("csv fetch: %q err %v", csv, err)
+	}
+
+	// Second identical submission: all cache hits, same digests, same
+	// tables hash, no replica recomputed.
+	j2, err := c.Submit(ctx, quickGrid("dedup", 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var secondEvents []Event
+	j2, err = c.Wait(ctx, j2.ID, func(e Event) { secondEvents = append(secondEvents, e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.State != JobDone || j2.Computed != 0 || j2.Cached != 4 {
+		t.Fatalf("second job state=%q computed=%d cached=%d, want done/0/4", j2.State, j2.Computed, j2.Cached)
+	}
+	if j1.TablesSHA256 == "" || j1.TablesSHA256 != j2.TablesSHA256 {
+		t.Fatalf("tables hashes differ: %q vs %q", j1.TablesSHA256, j2.TablesSHA256)
+	}
+	digests := func(evs []Event) map[string]string {
+		m := map[string]string{}
+		for _, e := range evs {
+			if e.Type == "point" {
+				m[e.SpecSHA] = e.ResultSHA
+			}
+		}
+		return m
+	}
+	d1, d2 := digests(firstEvents), digests(secondEvents)
+	if len(d1) != 4 || len(d2) != 4 {
+		t.Fatalf("point event counts: %d and %d, want 4 and 4", len(d1), len(d2))
+	}
+	for spec, res := range d1 {
+		if d2[spec] != res {
+			t.Fatalf("spec %s: result digest changed %s → %s", spec, res, d2[spec])
+		}
+	}
+	for _, e := range secondEvents {
+		if e.Type == "point" && !e.FromCache {
+			t.Fatalf("second submission recomputed point %q", e.Label)
+		}
+	}
+
+	// Artifacts are servable by digest and hash-verified end to end.
+	for _, res := range d1 {
+		b, err := c.Artifact(ctx, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := experiment.DecodeReplicaResult(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Store().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServiceConcurrentClientsBudget pins the second acceptance
+// criterion: two clients submitting concurrently both complete with
+// correct tables, while the replica fan-out respects the core-token
+// budget — peak concurrent replicas never exceed budget + parallel (each
+// running job keeps one un-budgeted worker so it always progresses).
+func TestServiceConcurrentClientsBudget(t *testing.T) {
+	const budget = 2
+	const parallel = 2
+	t.Setenv("IC_CORE_BUDGET", "2")
+	_, c := startServer(t, t.TempDir(), parallel)
+	experiment.ResetPeakInFlight()
+
+	grids := []*experiment.GridRequest{quickGrid("client-a", 21), quickGrid("client-b", 22)}
+	var wg sync.WaitGroup
+	infos := make([]JobInfo, len(grids))
+	errs := make([]error, len(grids))
+	for i, g := range grids {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			j, err := c.Submit(ctx, g)
+			if err == nil {
+				j, err = c.Wait(ctx, j.ID, nil)
+			}
+			infos[i], errs[i] = j, err
+		}()
+	}
+	wg.Wait()
+	for i := range grids {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if infos[i].State != JobDone {
+			t.Fatalf("client %d job state %q: %s", i, infos[i].State, infos[i].Error)
+		}
+		thr, eng, err := experiment.BlackholeSweep(*grids[i].Blackhole, grids[i].Malicious, grids[i].Levels, grids[i].Runs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := thr.StringWithCI() + "\n" + eng.StringWithCI() + "\n"
+		got, err := c.Tables(context.Background(), infos[i].ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("client %d tables differ from CLI sweep", i)
+		}
+	}
+	if peak := experiment.PeakInFlightReplicas(); peak > budget+parallel {
+		t.Fatalf("peak in-flight replicas %d exceeds budget %d + parallel %d", peak, budget, parallel)
+	}
+}
+
+// TestServiceDrainResume pins the crash-recovery contract: a service
+// stopped mid-grid (drain, then a simulated hard kill leaving the job
+// marked running) resumes on restart, never recomputes replicas already
+// in the store, and the store stays Verify-clean throughout.
+func TestServiceDrainResume(t *testing.T) {
+	dir := t.TempDir()
+	srv1, err := New(Options{Dir: dir, Parallel: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	run1 := make(chan struct{})
+	go func() {
+		defer close(run1)
+		srv1.Run(ctx1)
+	}()
+
+	grid := quickGrid("resume", 31)
+	job, err := srv1.Submit(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interrupt once at least one replica has landed in the store.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		ms, err := srv1.Store().Manifests()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ms) >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no replica landed within 60s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel1()
+	<-run1
+	landed, err := srv1.Store().Manifests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv1.Store().Verify(); err != nil {
+		t.Fatalf("store corrupt after drain: %v", err)
+	}
+
+	// The drained job must be queued (or already done if all replicas beat
+	// the cancel). Simulate a hard kill on top: a crashed process leaves
+	// the record saying "running"; restart must requeue it all the same.
+	j, ok := srv1.Job(job.ID)
+	if !ok {
+		t.Fatal("job record lost")
+	}
+	if j.State == JobQueued {
+		j.State = JobRunning
+		b, _ := json.Marshal(j)
+		if err := os.WriteFile(filepath.Join(dir, "jobs", job.ID+".json"), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv2, c2 := startServer(t, dir, 1)
+	final, err := c2.Wait(context.Background(), job.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != JobDone {
+		t.Fatalf("resumed job state %q: %s", final.State, final.Error)
+	}
+	if final.Computed+final.Cached != 4 {
+		t.Fatalf("resumed job computed=%d cached=%d, want 4 total", final.Computed, final.Cached)
+	}
+	if final.Cached < len(landed) {
+		t.Fatalf("resumed job cached %d < %d replicas already in the store (recompute!)", final.Cached, len(landed))
+	}
+	if err := srv2.Store().Verify(); err != nil {
+		t.Fatalf("store corrupt after resume: %v", err)
+	}
+
+	// The resumed job's tables must match a fresh in-process sweep.
+	thr, eng, err := experiment.BlackholeSweep(*grid.Blackhole, grid.Malicious, grid.Levels, grid.Runs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := thr.StringWithCI() + "\n" + eng.StringWithCI() + "\n"
+	got, err := c2.Tables(context.Background(), job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("resumed tables differ from CLI sweep:\n--- sweep ---\n%s--- resumed ---\n%s", want, got)
+	}
+}
+
+// TestSubmitRejectsBadGrids: the HTTP layer must reject malformed and
+// unknown-field submissions before anything queues.
+func TestSubmitRejectsBadGrids(t *testing.T) {
+	_, c := startServer(t, t.TempDir(), 1)
+	ctx := context.Background()
+	bad := quickGrid("bad", 1)
+	bad.Runs = 0
+	if _, err := c.Submit(ctx, bad); err == nil {
+		t.Fatal("zero-runs grid accepted")
+	}
+	resp, err := c.http().Post(c.Base+"/jobs", "application/json",
+		strings.NewReader(`{"name":"x","kind":"blackhole","surprise":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("unknown-field submission got %d, want 400", resp.StatusCode)
+	}
+}

@@ -67,3 +67,8 @@ func ReleaseCores(n int) {
 		coreUsed.Add(-int64(n))
 	}
 }
+
+// CoresInUse returns the number of core tokens currently held across the
+// process. Diagnostic: leak tests assert it returns to zero after a
+// cancelled sweep.
+func CoresInUse() int { return int(coreUsed.Load()) }

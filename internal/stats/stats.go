@@ -173,6 +173,33 @@ func (t *Table) StringWithCI() string {
 	return b.String()
 }
 
+// CSV renders the table in long form — one `row,col,n,mean,ci95` line
+// per populated cell, preceded by a header — for the repro pipeline's
+// machine-readable output. Cell order follows row-major insertion order,
+// so CSV output inherits the same determinism contract as String.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("row,col,n,mean,ci95\n")
+	for _, r := range t.rows {
+		for _, c := range t.cols {
+			s := t.Cell(r, c)
+			if s == nil || s.N() == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%s,%s,%d,%g,%g\n", csvField(r), csvField(c), s.N(), s.Mean(), s.CI95())
+		}
+	}
+	return b.String()
+}
+
+// csvField quotes a field when it contains a comma, quote, or newline.
+func csvField(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
 // Percentile returns the p-th percentile (0..100) of xs; it sorts a copy.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {

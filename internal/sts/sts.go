@@ -24,18 +24,18 @@ import (
 // Config parameterizes the service.
 type Config struct {
 	// Period is the beacon period τ; the paper requires τ < ∆STS/2.
-	Period sim.Duration
+	Period sim.Duration `json:"period"`
 	// Delta is ∆STS: links with no beacon for Delta are excluded.
-	Delta sim.Duration
+	Delta sim.Duration `json:"delta"`
 	// Authenticate enables beacon signatures. The "No IC" baselines run
 	// with it off (plain hello beacons).
-	Authenticate bool
+	Authenticate bool `json:"authenticate"`
 	// Handshake additionally runs the NSL link-authentication handshake
 	// before a neighbour is trusted. Large sweeps may disable it (beacons
 	// remain signed); see DESIGN.md.
-	Handshake bool
+	Handshake bool `json:"handshake"`
 	// BeaconBaseBytes is the fixed part of the beacon size.
-	BeaconBaseBytes int
+	BeaconBaseBytes int `json:"beacon_base_bytes"`
 }
 
 // DefaultConfig returns the ad hoc scenario parameters (∆STS = 2 s).

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# CI smoke for the experiment service: build icserved, start it on a
+# scratch state dir, submit a tiny 2-point grid twice through the repro
+# client (which follows the JSONL event stream until its terminal line),
+# assert the second submission is a pure artifact-store hit, then SIGTERM
+# the daemon and require a clean drain exit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+port="${SMOKE_PORT:-18473}"
+work="$(mktemp -d)"
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/icserved" ./cmd/icserved
+
+"$work/icserved" -addr "127.0.0.1:$port" -dir "$work/state" &
+pid=$!
+
+for _ in $(seq 1 100); do
+    if curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "icserved exited before becoming healthy" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null
+
+go run ./scripts/repro -addr "http://127.0.0.1:$port" -smoke
+
+kill -TERM "$pid"
+if ! wait "$pid"; then
+    echo "icserved did not drain cleanly on SIGTERM" >&2
+    exit 1
+fi
+pid=""
+echo "ci_smoke: ok"
