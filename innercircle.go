@@ -36,6 +36,7 @@ import (
 	"innercircle/internal/fusion"
 	"innercircle/internal/geo"
 	"innercircle/internal/node"
+	"innercircle/internal/scenario"
 	"innercircle/internal/sensor"
 	"innercircle/internal/stats"
 	"innercircle/internal/vote"
@@ -119,6 +120,45 @@ func NewSimDealer(seed []byte, wireBytes int) Dealer {
 // not combine. Both dealers implement it.
 type Refresher = thresh.Refresher
 
+// Resharer moves a group key to a new (k, n) share layout without
+// changing the public key — the membership-epoch transition primitive.
+// Both dealers implement it.
+type Resharer = thresh.Resharer
+
+// Epoched is implemented by every group key and signer: Epoch() counts
+// the reshare/refresh generations a key has lived through, and keys it
+// into the signature memo so verdicts never cross an epoch boundary.
+type Epoched = thresh.Epoched
+
+// Dealerless key generation (VSS with complaint/blame rounds).
+type (
+	// KeyGenerator is the dealerless-keygen capability both dealers
+	// implement: DKG runs the qualification protocol and deals only among
+	// the qualified participants.
+	KeyGenerator = thresh.KeyGenerator
+	// DKGConfig parameterizes one dealerless key generation.
+	DKGConfig = thresh.DKGConfig
+	// DKGResult reports the generated key plus the qualification outcome:
+	// who was blamed with proof, who stayed silent, who qualified.
+	DKGResult = thresh.DKGResult
+	// DKGFault scripts one participant's misbehaviour during keygen.
+	DKGFault = thresh.DKGFault
+)
+
+// DKG participant behaviours.
+const (
+	// DKGHonest follows the protocol.
+	DKGHonest = thresh.DKGHonest
+	// DKGCheatThenReveal deals a contradictory sub-share but opens it when
+	// challenged; the complaint resolves and the dealer survives.
+	DKGCheatThenReveal = thresh.DKGCheatThenReveal
+	// DKGCheatStubborn deals a contradictory sub-share and refuses to open
+	// it; the participant is blamed with proof and excluded.
+	DKGCheatStubborn = thresh.DKGCheatStubborn
+	// DKGSilent never deals; the participant is excluded without proof.
+	DKGSilent = thresh.DKGSilent
+)
+
 // PublicRing maps dependability level L to its group key.
 type PublicRing = vote.PublicRing
 
@@ -129,6 +169,14 @@ type NodeKeys = vote.NodeKeys
 // nodes — the trusted-dealer initialization of §2.
 func DealRing(dealer Dealer, maxL, n int) (PublicRing, []NodeKeys, error) {
 	return vote.DealRing(dealer, maxL, n)
+}
+
+// DKGRing generates one group key per dependability level 1..maxL among n
+// nodes with dealerless keygen, scripted faults optional. It returns the
+// ring, per-node signers (empty for excluded participants), and the
+// 0-based indices blamed with proof and excluded for silence.
+func DKGRing(gen KeyGenerator, maxL, n int, dkgFaults map[int]DKGFault) (PublicRing, []NodeKeys, []int, []int, error) {
+	return vote.DKGRing(gen, maxL, n, dkgFaults)
 }
 
 // LevelFor computes the §4.2 dependability level L = N − F − 1 for an
@@ -156,6 +204,15 @@ type (
 // configuration; see examples/quickstart for a complete walkthrough.
 func BuildNetwork(cfg NetworkConfig) (*Network, error) { return node.Build(cfg) }
 
+// Membership drives inner-circle membership-epoch transitions on a built
+// network: Leave/Crash/Join plus Reshare and Refresh, draining in-flight
+// votes and re-announcing via STS at each epoch. Obtain one with
+// (*Network).Membership().
+type Membership = node.Membership
+
+// MembershipStats counts a Membership manager's lifecycle activity.
+type MembershipStats = node.MembershipStats
+
 // ---- Paper experiments ----------------------------------------------------
 
 // Experiment configuration and result types (see internal/experiment).
@@ -175,6 +232,19 @@ type (
 	FusionAlg = experiment.FusionAlg
 	// Table accumulates a figure's rows across runs.
 	Table = stats.Table
+	// Churn declares a membership-churn schedule for a scenario: crash-
+	// and-rejoin cycles, permanent leaves, and the reshare/refresh policy.
+	Churn = scenario.Churn
+)
+
+// Reshare policies for Churn.Reshare.
+const (
+	// ReshareOnEvent reshares after every membership event (the default).
+	ReshareOnEvent = scenario.ReshareOnEvent
+	// ReshareEvery reshares on a fixed interval.
+	ReshareEvery = scenario.ReshareEvery
+	// ReshareOff never reshares (departed members keep verifying shares).
+	ReshareOff = scenario.ReshareOff
 )
 
 // Sensor fault models (§5.2).
@@ -237,6 +307,8 @@ type (
 	CampaignEntry = faults.Entry
 	// CampaignTables bundles a campaign sweep's output tables.
 	CampaignTables = experiment.CampaignTables
+	// ChurnTables bundles a churn sweep's output tables.
+	ChurnTables = experiment.ChurnTables
 )
 
 // LoadCampaign reads and validates a campaign JSON file.
@@ -255,4 +327,13 @@ func ParsePreset(spec string) (Campaign, error) { return faults.ParsePreset(spec
 // and campaigns yield byte-identical tables at any IC_WORKERS count.
 func CampaignSweep(base BlackholeConfig, campaigns []Campaign, levels []int, runs int, progress io.Writer) (*CampaignTables, error) {
 	return experiment.CampaignSweep(base, campaigns, levels, runs, progress)
+}
+
+// ChurnSweep fans {IC, L=l} sensor configurations across crash-and-rejoin
+// rates on the parallel worker pool, returning the detection and energy
+// costs of churn plus the membership-lifecycle accounting (transitions,
+// reshares, aborted rounds, final epoch). Same seed and axes yield
+// byte-identical tables at any IC_WORKERS and IC_SHARDS setting.
+func ChurnSweep(base SensorConfig, levels, churns []int, runs int, progress io.Writer) (*ChurnTables, error) {
+	return experiment.ChurnSweep(base, levels, churns, runs, progress)
 }

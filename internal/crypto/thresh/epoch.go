@@ -1,0 +1,22 @@
+package thresh
+
+// Epoched is the capability of reporting a key-material epoch. Every
+// share-changing operation on a group key — proactive refresh (Refresher),
+// resharing to a new (k, n) (Resharer) — bumps the epoch while leaving the
+// public key intact, so the epoch is the one value verification memos must
+// key on: a cached verdict from epoch E must never be served at epoch
+// E+1, where a different share set (and, for the keyed-MAC SimScheme, a
+// different set of share keys) is live.
+//
+// Both group-key implementations satisfy it; the voting layer type-asserts
+// against this interface instead of duck-typing the method.
+type Epoched interface {
+	// Epoch returns the key-material epoch, starting at 0 when the key is
+	// dealt and incremented by every refresh or reshare.
+	Epoch() uint64
+}
+
+var (
+	_ Epoched = (*simGroupKey)(nil)
+	_ Epoched = (*rsaGroupKey)(nil)
+)

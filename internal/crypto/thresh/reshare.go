@@ -1,0 +1,99 @@
+package thresh
+
+import (
+	"fmt"
+	"math/big"
+
+	"innercircle/internal/crypto/shamir"
+)
+
+// Resharer moves a dealt group key to a new (k, n) signer set without
+// changing the public key. Where Refresher re-randomizes shares inside a
+// fixed membership, Reshare is the membership-change primitive: the inner
+// circle shrinks when nodes depart (or are expelled by the suspicion
+// machinery) and grows when nodes join, and the signing quorum must follow.
+//
+// The group key object is mutated in place — it is the shared verification
+// oracle held by every node's public ring — and its epoch is bumped, so
+// verification memos keyed on Epoched roll over and partials produced by
+// pre-reshare signers stop combining. Previously issued combined
+// signatures remain valid under the threshold-RSA scheme (the modulus and
+// public exponent are untouched); the keyed-MAC SimScheme re-derives its
+// share keys, so its old "signatures" expire with the epoch, which is the
+// honest analogue of its refresh semantics.
+//
+// Callers must quiesce signing and verification against the key for the
+// duration of the call: the membership layer drains in-flight vote rounds
+// before resharing (node.Membership), and scenario churn runs transitions
+// on the single-threaded kernel loop.
+type Resharer interface {
+	// Reshare re-deals the key's secret with threshold newK among newN
+	// players and returns the new signers (index 1..newN). Old signers'
+	// partials no longer combine.
+	Reshare(gk GroupKey, newK, newN int) ([]Signer, error)
+}
+
+var (
+	_ Resharer = (*RSADealer)(nil)
+	_ Resharer = (*SimDealer)(nil)
+)
+
+// Reshare implements Resharer for the threshold RSA scheme. The dealer
+// retains λ(N) (never d itself); d = e⁻¹ mod λ is recomputed and Shamir-
+// shared afresh with the new parameters. The key's Shoup precompute —
+// Δ = n!, 4Δ², the extended-Euclid pair a·4Δ² + b·e = 1, and the per-set
+// Lagrange memo — is rebuilt for the new (k, n); the Montgomery context
+// survives untouched because the modulus does, which is exactly the
+// "public key preserved" half of the contract.
+func (d *RSADealer) Reshare(gk GroupKey, newK, newN int) ([]Signer, error) {
+	rk, ok := gk.(*rsaGroupKey)
+	if !ok {
+		return nil, fmt.Errorf("thresh: group key was not dealt by an RSA dealer")
+	}
+	lambda, ok := d.secrets[rk]
+	if !ok {
+		return nil, fmt.Errorf("thresh: this dealer did not deal the given key")
+	}
+	if newK < 0 || newN < 1 || newK+1 > newN {
+		return nil, fmt.Errorf("thresh: invalid threshold k=%d n=%d", newK, newN)
+	}
+	dExp := new(big.Int).ModInverse(rk.e, lambda)
+	if dExp == nil {
+		return nil, fmt.Errorf("thresh: e not invertible mod lambda")
+	}
+	shares, err := shamir.Split(dExp, newK, newN, lambda, d.rand())
+	if err != nil {
+		return nil, fmt.Errorf("thresh: reshare private exponent: %w", err)
+	}
+	if err := rk.reshare(newK, newN); err != nil {
+		return nil, err
+	}
+	signers := make([]Signer, newN)
+	for i, s := range shares {
+		signers[i] = newRSASigner(rk, s.X, s.Y)
+	}
+	return signers, nil
+}
+
+// Reshare implements Resharer for the simulation scheme: the share keys
+// are re-derived for the new player count from the key's deal-time root
+// under the bumped epoch, so stale signers' partials stop verifying
+// immediately.
+func (d *SimDealer) Reshare(gk GroupKey, newK, newN int) ([]Signer, error) {
+	sk, ok := gk.(*simGroupKey)
+	if !ok {
+		return nil, fmt.Errorf("thresh: group key was not dealt by a sim dealer")
+	}
+	if newK < 0 || newN < 1 || newK+1 > newN {
+		return nil, fmt.Errorf("thresh: invalid threshold k=%d n=%d", newK, newN)
+	}
+	sk.epoch++
+	sk.k, sk.n = newK, newN
+	sk.shareKeys = make([][]byte, newN+1)
+	signers := make([]Signer, newN)
+	for i := 1; i <= newN; i++ {
+		sk.shareKeys[i] = simDerive(sk.root, sk.epoch, i)
+		signers[i-1] = &simSigner{index: i, key: sk.shareKeys[i]}
+	}
+	return signers, nil
+}

@@ -40,44 +40,9 @@ func (d *RSADealer) Deal(k, n int) (GroupKey, []Signer, error) {
 	if k < 0 || n < 1 || k+1 > n {
 		return nil, nil, fmt.Errorf("thresh: invalid threshold k=%d n=%d", k, n)
 	}
-	bits := d.Bits
-	if bits == 0 {
-		bits = 1024
-	}
-	if bits < 128 {
-		return nil, nil, fmt.Errorf("thresh: modulus too small (%d bits)", bits)
-	}
-	one := big.NewInt(1)
-	var p, q, N, lambda *big.Int
-	for {
-		var err error
-		p, err = rand.Prime(d.rand(), bits/2)
-		if err != nil {
-			return nil, nil, fmt.Errorf("thresh: generate prime: %w", err)
-		}
-		q, err = rand.Prime(d.rand(), bits-bits/2)
-		if err != nil {
-			return nil, nil, fmt.Errorf("thresh: generate prime: %w", err)
-		}
-		if p.Cmp(q) == 0 {
-			continue
-		}
-		N = new(big.Int).Mul(p, q)
-		pm1 := new(big.Int).Sub(p, one)
-		qm1 := new(big.Int).Sub(q, one)
-		gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
-		lambda = new(big.Int).Mul(pm1, qm1)
-		lambda.Div(lambda, gcd)
-		break
-	}
-	// Public exponent e must be a prime larger than n (so gcd(e, 4Δ²) = 1
-	// with Δ = n!) and coprime to λ(N).
-	e := big.NewInt(65537)
-	for int(e.Int64()) <= n || new(big.Int).GCD(nil, nil, e, lambda).Cmp(one) != 0 {
-		e.Add(e, big.NewInt(2))
-		for !e.ProbablyPrime(32) {
-			e.Add(e, big.NewInt(2))
-		}
+	N, e, lambda, err := d.keyMaterial(n)
+	if err != nil {
+		return nil, nil, err
 	}
 	dExp := new(big.Int).ModInverse(e, lambda)
 	if dExp == nil {
@@ -100,6 +65,52 @@ func (d *RSADealer) Deal(k, n int) (GroupKey, []Signer, error) {
 		signers[i] = newRSASigner(gk, s.X, s.Y)
 	}
 	return gk, signers, nil
+}
+
+// keyMaterial generates a modulus N, public exponent e, and secret λ(N)
+// suitable for an n-player key. Deal calls it as the trusted dealer; DKG
+// calls it as the ideal functionality standing in for distributed modulus
+// generation (see dkg.go).
+func (d *RSADealer) keyMaterial(n int) (N, e, lambda *big.Int, err error) {
+	bits := d.Bits
+	if bits == 0 {
+		bits = 1024
+	}
+	if bits < 128 {
+		return nil, nil, nil, fmt.Errorf("thresh: modulus too small (%d bits)", bits)
+	}
+	one := big.NewInt(1)
+	var p, q *big.Int
+	for {
+		p, err = rand.Prime(d.rand(), bits/2)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("thresh: generate prime: %w", err)
+		}
+		q, err = rand.Prime(d.rand(), bits-bits/2)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("thresh: generate prime: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		N = new(big.Int).Mul(p, q)
+		pm1 := new(big.Int).Sub(p, one)
+		qm1 := new(big.Int).Sub(q, one)
+		gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
+		lambda = new(big.Int).Mul(pm1, qm1)
+		lambda.Div(lambda, gcd)
+		break
+	}
+	// Public exponent e must be a prime larger than n (so gcd(e, 4Δ²) = 1
+	// with Δ = n!) and coprime to λ(N).
+	e = big.NewInt(65537)
+	for int(e.Int64()) <= n || new(big.Int).GCD(nil, nil, e, lambda).Cmp(one) != 0 {
+		e.Add(e, big.NewInt(2))
+		for !e.ProbablyPrime(32) {
+			e.Add(e, big.NewInt(2))
+		}
+	}
+	return N, e, lambda, nil
 }
 
 func factorial(n int) *big.Int {
@@ -142,8 +153,9 @@ type rsaGroupKey struct {
 	delta   *big.Int // n!
 	epoch   uint64   // proactive-refresh epoch, diagnostics only
 
-	// Key-dependent, message-independent context, computed once at deal
-	// time (Shoup's observation: everything but H(m)^exp can be reused).
+	// Key-dependent, message-independent context, computed at deal time
+	// and rebuilt by reshare when (k, n) changes (Shoup's observation:
+	// everything but H(m)^exp can be reused between messages).
 	// aAbs/bAbs are stored as magnitudes plus sign flags so concurrent
 	// Combine calls never mutate the shared big.Ints.
 	fourDeltaSq *big.Int // 4Δ²
@@ -186,6 +198,34 @@ func (g *rsaGroupKey) precompute() error {
 	g.aAbs = a.Abs(a)
 	g.bAbs = b.Abs(b)
 	g.mont = newMontCtx(g.modulus)
+	return nil
+}
+
+// reshare repoints the key at a new (k, n): Δ becomes n'!, the dependent
+// Shoup constants (4Δ², the extended-Euclid pair) are rebuilt, the per-set
+// Lagrange memo is dropped, and the epoch is bumped so verification memos
+// roll over. The modulus — and with it the Montgomery context and every
+// previously issued signature — is untouched. All new state is computed
+// before any field is assigned, so a failed rebuild leaves the key as it
+// was.
+func (g *rsaGroupKey) reshare(newK, newN int) error {
+	delta := factorial(newN)
+	fds := new(big.Int).Mul(delta, delta)
+	fds.Lsh(fds, 2)
+	a := new(big.Int)
+	b := new(big.Int)
+	gcd := new(big.Int).GCD(a, b, fds, g.e)
+	if gcd.Cmp(big.NewInt(1)) != 0 {
+		return fmt.Errorf("thresh: gcd(4Δ², e) != 1 (e too small for n=%d)", newN)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.k, g.n, g.delta = newK, newN, delta
+	g.fourDeltaSq = fds
+	g.aNeg, g.bNeg = a.Sign() < 0, b.Sign() < 0
+	g.aAbs, g.bAbs = a.Abs(a), b.Abs(b)
+	g.lag = nil
+	g.epoch++
 	return nil
 }
 

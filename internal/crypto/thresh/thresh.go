@@ -121,7 +121,9 @@ func (d *SimDealer) Deal(k, n int) (GroupKey, []Signer, error) {
 	}
 	d.counter++
 	keyID := d.counter
-	gk := &simGroupKey{k: k, n: n, sigSize: d.sigSize}
+	// Index 0 is never a share index, so it doubles as the per-key root
+	// from which reshares derive replacement share keys.
+	gk := &simGroupKey{k: k, n: n, sigSize: d.sigSize, root: simDerive(d.master, keyID, 0)}
 	gk.shareKeys = make([][]byte, n+1)
 	signers := make([]Signer, n)
 	for i := 1; i <= n; i++ {
@@ -157,6 +159,7 @@ type simGroupKey struct {
 	k, n      int
 	sigSize   int
 	epoch     uint64
+	root      []byte   // per-key derivation root, feeds reshare re-keying
 	shareKeys [][]byte // index 1..n
 }
 

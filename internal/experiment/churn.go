@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"innercircle/internal/scenario"
+	"innercircle/internal/stats"
+)
+
+// ChurnTables bundles the outputs of a membership-churn sweep: what the
+// paper's detection metrics cost under churn, plus the lifecycle
+// accounting that shows the neutralization machinery actually cycling
+// (reshares executed, rounds drained, final key epoch).
+type ChurnTables struct {
+	Miss     *stats.Table // miss alarm probability [%]
+	Energy   *stats.Table // joules per node
+	Events   *stats.Table // effective membership transitions per run
+	Reshares *stats.Table // reshares executed per run
+	Aborted  *stats.Table // vote rounds drained by transitions per run
+	Epoch    *stats.Table // final membership epoch per run
+}
+
+// NewChurnTables returns the empty churn-sweep table bundle.
+func NewChurnTables() *ChurnTables {
+	return &ChurnTables{
+		Miss:     stats.NewTable("Churn sweep: miss alarm probability [%]", "config \\ churn"),
+		Energy:   stats.NewTable("Churn sweep: energy consumption [J/node]", "config \\ churn"),
+		Events:   stats.NewTable("Churn sweep: membership transitions [#/run]", "config \\ churn"),
+		Reshares: stats.NewTable("Churn sweep: reshares executed [#/run]", "config \\ churn"),
+		Aborted:  stats.NewTable("Churn sweep: vote rounds aborted [#/run]", "config \\ churn"),
+		Epoch:    stats.NewTable("Churn sweep: final key epoch [#]", "config \\ churn"),
+	}
+}
+
+// ChurnPoints enumerates the churn sweep grid: IC configurations at each
+// dependability level × crash-and-rejoin counts × runs, with per-replica
+// seeds base.Seed + 1000*ci + run (ci = churn-rate index), mirroring
+// CampaignPoints' schedule. The churn=0 column carries a nil Churn — it
+// is exactly the seed sensor sweep's IC replica, which the determinism
+// tests pin byte for byte. Non-zero columns copy base.Churn (or the
+// default schedule) with CrashRejoin overridden, so a sweep can fix the
+// window, downtime, and reshare policy while scaling the rate axis.
+// There is no No-IC row: churn is a lifecycle of the inner circle.
+func ChurnPoints(base SensorConfig, levels []int, churns []int, runs int) []GridPoint[SensorConfig] {
+	var points []GridPoint[SensorConfig]
+	for _, level := range levels {
+		row := fmt.Sprintf("IC, L=%d", level)
+		for ci, churn := range churns {
+			for run := 0; run < runs; run++ {
+				cfg := base
+				cfg.IC = true
+				cfg.L = level
+				cfg.Seed = base.Seed + int64(1000*ci+run)
+				cfg.Churn = nil
+				if churn > 0 {
+					var c scenario.Churn
+					if base.Churn != nil {
+						c = *base.Churn
+					}
+					c.CrashRejoin = churn
+					cfg.Churn = &c
+				}
+				points = append(points, GridPoint[SensorConfig]{
+					Label:  fmt.Sprintf("%s churn=%d run=%d", row, churn, run),
+					Row:    row,
+					Col:    fmt.Sprintf("churn=%d", churn),
+					Config: cfg,
+				})
+			}
+		}
+	}
+	return points
+}
+
+// FoldChurn folds one replica's result into the churn tables.
+func FoldChurn(t *ChurnTables, row, col string, res SensorResult) {
+	t.Miss.Add(row, col, 100*res.MissAlarm)
+	t.Energy.Add(row, col, res.EnergyPerNode)
+	t.Events.Add(row, col, float64(res.ChurnEvents))
+	t.Reshares.Add(row, col, float64(res.ChurnReshares))
+	t.Aborted.Add(row, col, float64(res.RoundsAborted))
+	t.Epoch.Add(row, col, float64(res.MembershipEpoch))
+}
+
+// ValidateChurnSweep checks the inputs a churn sweep shares with the
+// experiment service's grid layer.
+func ValidateChurnSweep(base SensorConfig, levels, churns []int) error {
+	if len(levels) == 0 || len(churns) == 0 {
+		return fmt.Errorf("experiment: churn sweep needs at least one level and one churn rate")
+	}
+	for _, c := range churns {
+		if c < 0 {
+			return fmt.Errorf("experiment: negative churn rate %d", c)
+		}
+	}
+	return nil
+}
+
+// ChurnSweep runs every (IC level × churn rate × run) replica on the
+// parallel worker pool: rows are {IC, L=l}, columns the crash-and-rejoin
+// counts. Results fold in enumeration order, so the tables are identical
+// at any IC_WORKERS count — and since active churn pins every replica to
+// one kernel while churn=0 replicas are shard-invariant by the kernel
+// contract, at any IC_SHARDS setting too.
+func ChurnSweep(base SensorConfig, levels, churns []int, runs int, progress io.Writer) (*ChurnTables, error) {
+	if err := ValidateChurnSweep(base, levels, churns); err != nil {
+		return nil, err
+	}
+	t := NewChurnTables()
+	err := SweepGrid(ChurnPoints(base, levels, churns, runs), RunSensor, progress,
+		func(label string, res SensorResult) string {
+			return fmt.Sprintf("%s: miss=%.0f%% events=%d reshares=%d aborted=%d epoch=%d E=%.2fJ\n",
+				label, 100*res.MissAlarm, res.ChurnEvents, res.ChurnReshares,
+				res.RoundsAborted, res.MembershipEpoch, res.EnergyPerNode)
+		},
+		func(row, col string, res SensorResult) {
+			FoldChurn(t, row, col, res)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}

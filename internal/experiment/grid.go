@@ -35,6 +35,10 @@ const (
 	// ReplicaSensorPair runs one sensor replica pair: the with-target run
 	// and its NoTarget sibling under the same seed (Fig. 8's unit of work).
 	ReplicaSensorPair = "sensorpair"
+	// ReplicaSensor runs one with-target sensor replica — the churn sweep's
+	// unit of work, which has no NoTarget sibling (membership lifecycle
+	// metrics do not need the false-alarm baseline).
+	ReplicaSensor = "sensor"
 )
 
 // ReplicaSpec is the wire form of one replica: a tagged union over the
@@ -64,7 +68,7 @@ func (s ReplicaSpec) Validate() error {
 				return fmt.Errorf("experiment: %w", err)
 			}
 		}
-	case ReplicaSensorPair:
+	case ReplicaSensorPair, ReplicaSensor:
 		if s.Sensor == nil {
 			return fmt.Errorf("experiment: replica spec kind %q without a sensor config", s.Kind)
 		}
@@ -94,7 +98,7 @@ func (s ReplicaSpec) Seed() int64 {
 		if s.Blackhole != nil {
 			return s.Blackhole.Seed
 		}
-	case ReplicaSensorPair:
+	case ReplicaSensorPair, ReplicaSensor:
 		if s.Sensor != nil {
 			return s.Sensor.Seed
 		}
@@ -111,6 +115,7 @@ type ReplicaResult struct {
 	Kind       string           `json:"kind"`
 	Blackhole  *BlackholeResult `json:"blackhole,omitempty"`
 	SensorPair *SensorPair      `json:"sensor_pair,omitempty"`
+	Sensor     *SensorResult    `json:"sensor,omitempty"`
 }
 
 // Run executes the replica and returns its canonical result bytes plus
@@ -136,6 +141,13 @@ func (s ReplicaSpec) Run() ([]byte, int, error) {
 			return nil, 0, err
 		}
 		out = ReplicaResult{Kind: s.Kind, SensorPair: &pair}
+		shards = n
+	case ReplicaSensor:
+		res, n, err := runSensorShards(*s.Sensor)
+		if err != nil {
+			return nil, 0, err
+		}
+		out = ReplicaResult{Kind: s.Kind, Sensor: &res}
 		shards = n
 	}
 	b, err := json.Marshal(out)
@@ -167,6 +179,8 @@ const (
 	GridSensor = "sensor"
 	// GridCampaign is the fault-campaign sweep (rows × campaigns).
 	GridCampaign = "campaign"
+	// GridChurn is the membership-churn sweep (IC levels × churn rates).
+	GridChurn = "churn"
 )
 
 // GridRequest is the wire form of one full experiment grid — what a
@@ -191,6 +205,8 @@ type GridRequest struct {
 	Faults []sensor.FaultKind `json:"faults,omitempty"`
 	// Campaigns lists the campaign grid's columns.
 	Campaigns []faults.Campaign `json:"campaigns,omitempty"`
+	// Churns lists the churn grid's crash-and-rejoin column counts.
+	Churns []int `json:"churns,omitempty"`
 	// Runs is the replica count per grid point.
 	Runs int `json:"runs"`
 }
@@ -205,7 +221,7 @@ func (g *GridRequest) Validate() error {
 		if g.Blackhole == nil {
 			return fmt.Errorf("experiment: grid %q: kind %q needs a blackhole config", g.Name, g.Kind)
 		}
-		if g.Sensor != nil || len(g.Faults) > 0 || len(g.Campaigns) > 0 {
+		if g.Sensor != nil || len(g.Faults) > 0 || len(g.Campaigns) > 0 || len(g.Churns) > 0 {
 			return fmt.Errorf("experiment: grid %q: kind %q carries fields of another kind", g.Name, g.Kind)
 		}
 		if g.Blackhole.Tracer != nil {
@@ -218,7 +234,7 @@ func (g *GridRequest) Validate() error {
 		if g.Sensor == nil {
 			return fmt.Errorf("experiment: grid %q: kind %q needs a sensor config", g.Name, g.Kind)
 		}
-		if g.Blackhole != nil || len(g.Malicious) > 0 || len(g.Campaigns) > 0 {
+		if g.Blackhole != nil || len(g.Malicious) > 0 || len(g.Campaigns) > 0 || len(g.Churns) > 0 {
 			return fmt.Errorf("experiment: grid %q: kind %q carries fields of another kind", g.Name, g.Kind)
 		}
 		if len(g.Faults) == 0 {
@@ -228,10 +244,20 @@ func (g *GridRequest) Validate() error {
 		if g.Blackhole == nil {
 			return fmt.Errorf("experiment: grid %q: kind %q needs a blackhole config", g.Name, g.Kind)
 		}
-		if g.Sensor != nil || len(g.Malicious) > 0 || len(g.Faults) > 0 {
+		if g.Sensor != nil || len(g.Malicious) > 0 || len(g.Faults) > 0 || len(g.Churns) > 0 {
 			return fmt.Errorf("experiment: grid %q: kind %q carries fields of another kind", g.Name, g.Kind)
 		}
 		if err := ValidateCampaignSweep(*g.Blackhole, g.Campaigns); err != nil {
+			return fmt.Errorf("grid %q: %w", g.Name, err)
+		}
+	case GridChurn:
+		if g.Sensor == nil {
+			return fmt.Errorf("experiment: grid %q: kind %q needs a sensor config", g.Name, g.Kind)
+		}
+		if g.Blackhole != nil || len(g.Malicious) > 0 || len(g.Faults) > 0 || len(g.Campaigns) > 0 {
+			return fmt.Errorf("experiment: grid %q: kind %q carries fields of another kind", g.Name, g.Kind)
+		}
+		if err := ValidateChurnSweep(*g.Sensor, g.Levels, g.Churns); err != nil {
 			return fmt.Errorf("grid %q: %w", g.Name, err)
 		}
 	default:
@@ -287,6 +313,12 @@ func (g *GridRequest) Points() ([]ReplicaPoint, error) {
 			cfg := p.Config
 			out = append(out, ReplicaPoint{Label: p.Label, Row: p.Row, Col: p.Col,
 				Spec: ReplicaSpec{Kind: ReplicaBlackhole, Blackhole: &cfg}})
+		}
+	case GridChurn:
+		for _, p := range ChurnPoints(*g.Sensor, g.Levels, g.Churns, g.Runs) {
+			cfg := p.Config
+			out = append(out, ReplicaPoint{Label: p.Label, Row: p.Row, Col: p.Col,
+				Spec: ReplicaSpec{Kind: ReplicaSensor, Sensor: &cfg}})
 		}
 	}
 	return out, nil
@@ -344,19 +376,28 @@ func (g *GridRequest) Tables(results [][]byte) ([]*stats.Table, error) {
 			FoldCampaign(t, p.Row, p.Col, *decoded[i].Blackhole)
 		}
 		return []*stats.Table{t.Throughput, t.Energy, t.Injected, t.Suppressed, t.Leaked, t.VerifiesAvoided}, nil
+	case GridChurn:
+		t := NewChurnTables()
+		for i, p := range points {
+			if decoded[i].Sensor == nil {
+				return nil, fmt.Errorf("experiment: point %q: result kind %q, want sensor", p.Label, decoded[i].Kind)
+			}
+			FoldChurn(t, p.Row, p.Col, *decoded[i].Sensor)
+		}
+		return []*stats.Table{t.Miss, t.Energy, t.Events, t.Reshares, t.Aborted, t.Epoch}, nil
 	}
 	return nil, fmt.Errorf("experiment: grid %q: unknown kind %q", g.Name, g.Kind)
 }
 
 // Render prints the grid's tables exactly as the corresponding CLI does
-// (cmd/blackhole, cmd/sensornet, cmd/faultsweep): StringWithCI for the
-// figure tables, compact String for the campaign coverage counters, one
-// blank line after each — so service output is diffable against the
-// drivers'.
+// (cmd/blackhole, cmd/sensornet, cmd/faultsweep, cmd/churnsweep):
+// StringWithCI for the figure tables, compact String for the campaign
+// coverage and churn lifecycle counters, one blank line after each — so
+// service output is diffable against the drivers'.
 func (g *GridRequest) Render(tables []*stats.Table) string {
 	var b bytes.Buffer
 	for i, t := range tables {
-		if g.Kind == GridCampaign && i >= 2 {
+		if (g.Kind == GridCampaign || g.Kind == GridChurn) && i >= 2 {
 			b.WriteString(t.String())
 		} else {
 			b.WriteString(t.StringWithCI())

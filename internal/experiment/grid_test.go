@@ -147,6 +147,23 @@ func TestGridMatchesSweeps(t *testing.T) {
 			t.Fatalf("grid tables differ from sweep tables:\n--- sweep ---\n%s--- grid ---\n%s", want.String(), got)
 		}
 	})
+	t.Run("churn", func(t *testing.T) {
+		base := churnBase()
+		churns := []int{0, 2}
+		ct, err := ChurnSweep(base, []int{3}, churns, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := &GridRequest{Name: "t", Kind: GridChurn, Sensor: &base,
+			Levels: []int{3}, Churns: churns, Runs: 1}
+		tables := runGrid(t, g)
+		want := ct.Miss.StringWithCI() + "\n" + ct.Energy.StringWithCI() + "\n" +
+			ct.Events.String() + "\n" + ct.Reshares.String() + "\n" +
+			ct.Aborted.String() + "\n" + ct.Epoch.String() + "\n"
+		if got := g.Render(tables); got != want {
+			t.Fatalf("grid tables differ from sweep tables:\n--- sweep ---\n%s--- grid ---\n%s", want, got)
+		}
+	})
 	t.Run("campaign", func(t *testing.T) {
 		base := smallBlackhole()
 		base.SimTime = 30
@@ -180,6 +197,11 @@ func TestGridRequestValidate(t *testing.T) {
 		{"blackhole ok", GridRequest{Kind: GridBlackhole, Blackhole: &bh, Malicious: []int{0}, Runs: 1}, true},
 		{"sensor ok", GridRequest{Kind: GridSensor, Sensor: &sn, Faults: []sensor.FaultKind{sensor.FaultNone}, Runs: 1}, true},
 		{"campaign ok", GridRequest{Kind: GridCampaign, Blackhole: &bh, Campaigns: []faults.Campaign{faults.BlackholePreset(1)}, Runs: 1}, true},
+		{"churn ok", GridRequest{Kind: GridChurn, Sensor: &sn, Levels: []int{3}, Churns: []int{0, 2}, Runs: 1}, true},
+		{"churn without sensor", GridRequest{Kind: GridChurn, Levels: []int{3}, Churns: []int{0}, Runs: 1}, false},
+		{"churn without rates", GridRequest{Kind: GridChurn, Sensor: &sn, Levels: []int{3}, Runs: 1}, false},
+		{"churn with blackhole", GridRequest{Kind: GridChurn, Sensor: &sn, Blackhole: &bh, Levels: []int{3}, Churns: []int{0}, Runs: 1}, false},
+		{"campaign with churn rates", GridRequest{Kind: GridCampaign, Blackhole: &bh, Campaigns: []faults.Campaign{faults.BlackholePreset(1)}, Churns: []int{1}, Runs: 1}, false},
 		{"zero runs", GridRequest{Kind: GridBlackhole, Blackhole: &bh, Malicious: []int{0}}, false},
 		{"unknown kind", GridRequest{Kind: "mystery", Runs: 1}, false},
 		{"blackhole without config", GridRequest{Kind: GridBlackhole, Malicious: []int{0}, Runs: 1}, false},

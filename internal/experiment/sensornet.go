@@ -56,8 +56,12 @@ type SensorConfig struct {
 	UniformPlacement bool `json:"uniform_placement,omitempty"`
 	// Shards partitions the replica across parallel kernels (see
 	// scenario.Spec.Shards); 0 defers to IC_SHARDS.
-	Shards int   `json:"shards,omitempty"`
-	Seed   int64 `json:"seed"`
+	Shards int `json:"shards,omitempty"`
+	// Churn schedules mid-run membership transitions over the inner
+	// circle (see scenario.Churn); nil runs with fixed membership, so
+	// churn-free configs hash identically to pre-churn artifacts.
+	Churn *scenario.Churn `json:"churn,omitempty"`
+	Seed  int64           `json:"seed"`
 }
 
 // FusionAlg selects the fault-tolerant fusion used by statistical voting.
@@ -117,7 +121,8 @@ func ScaledSensorConfig(nodes int) SensorConfig {
 	return cfg
 }
 
-// SensorResult is the outcome of one run.
+// SensorResult is the outcome of one run. The churn fields are zero (and
+// absent from the JSON form) unless the run scheduled membership churn.
 type SensorResult struct {
 	Targets          int
 	Missed           int
@@ -128,6 +133,12 @@ type SensorResult struct {
 	DetectionLatency float64 // seconds, mean over detected targets
 	LocalizationErr  float64 // metres, mean over detected targets
 	Notifications    int     // total notifications the base accepted
+
+	ChurnEvents     int `json:"churn_events,omitempty"`         // effective membership transitions
+	ChurnReshares   int `json:"churn_reshares,omitempty"`       // reshares executed
+	ChurnRefreshes  int `json:"churn_refreshes,omitempty"`      // proactive refreshes executed
+	RoundsAborted   int `json:"churn_rounds_aborted,omitempty"` // vote rounds drained by transitions
+	MembershipEpoch int `json:"membership_epoch,omitempty"`     // final key epoch
 }
 
 // Sensor-scenario metric names (on top of the runner's uniform set).
@@ -549,6 +560,7 @@ func sensorSpec(cfg SensorConfig) (*scenario.Spec, error) {
 			Components: []scenario.Component{sc},
 		},
 		Traffic: &traffic.Epochs{Period: cfg.SensePeriod, OnEpoch: sc.onEpoch, OnNode: sc.onEpochNode},
+		Churn:   cfg.Churn,
 	}
 	if cfg.Fault != sensor.FaultNone {
 		spec.Adversary = deviceFaults{sc: sc}
@@ -583,6 +595,11 @@ func runSensorShards(cfg SensorConfig) (SensorResult, int, error) {
 		LocalizationErr:  res.Gauge(gaugeLocErr),
 		EnergyPerNode:    res.Gauge(scenario.GaugeEnergyPerNodeJ),
 		TrafficEnergy:    res.Gauge(gaugeTrafficE),
+		ChurnEvents:      int(res.Counter(scenario.CtrChurnEvents)),
+		ChurnReshares:    int(res.Counter(scenario.CtrChurnReshares)),
+		ChurnRefreshes:   int(res.Counter(scenario.CtrChurnRefreshes)),
+		RoundsAborted:    int(res.Counter(scenario.CtrChurnAborted)),
+		MembershipEpoch:  int(res.Gauge(scenario.GaugeMembershipEpoch)),
 	}, res.Shards, nil
 }
 

@@ -81,6 +81,17 @@ type Network struct {
 	Ring    vote.PublicRing
 	Dir     nsl.DirectoryMap
 	RNG     *sim.RNG
+	// Dealer is the threshold-key authority the network was built with and
+	// NodeKeys the per-node signer sets it produced (both nil/empty without
+	// IC). Retained so membership transitions (Membership) can reshare and
+	// refresh the ring after Build.
+	Dealer   thresh.Dealer
+	NodeKeys []vote.NodeKeys
+	// DKGBlamed and DKGSilent record nodes excluded during dealerless
+	// keygen (Config.DKG): blamed with proof of misbehaviour, or silent.
+	// Build has already fed them to every node's suspicion manager.
+	DKGBlamed []int
+	DKGSilent []int
 	// Set is the shard set driving a partitioned deployment (nil when the
 	// network runs on a single kernel). K is then shard 0's kernel; every
 	// node's K is its home shard's.
@@ -122,6 +133,13 @@ type Config struct {
 	// Dealer provides threshold keys; nil selects thresh.SimDealer seeded
 	// from Seed.
 	Dealer thresh.Dealer
+	// DKG establishes the level keys with the dealerless protocol
+	// (thresh.KeyGenerator) instead of the trusted dealer's Deal: the nodes
+	// run qualification rounds, and misbehaving participants (DKGFaults,
+	// keyed by 0-based node index) are excluded — blamed nodes enter every
+	// other node's permanent suspect list, silent ones the temporary list.
+	DKG       bool
+	DKGFaults map[int]thresh.DKGFault
 	// Keys optionally supplies pre-generated per-node RSA key pairs
 	// (benches cache them across runs — key material does not affect
 	// traffic). Required length N when set.
@@ -277,7 +295,6 @@ func Build(cfg Config) (*Network, error) {
 	}
 
 	// Threshold key material (IC mode only).
-	var nodeKeys []vote.NodeKeys
 	if cfg.IC {
 		dealer := cfg.Dealer
 		if dealer == nil {
@@ -287,12 +304,28 @@ func Build(cfg Config) (*Network, error) {
 		if maxL == 0 {
 			maxL = 10
 		}
-		ring, nk, err := vote.DealRing(dealer, maxL, cfg.N)
-		if err != nil {
-			return nil, fmt.Errorf("node: deal threshold keys: %w", err)
+		if cfg.DKG {
+			gen, ok := dealer.(thresh.KeyGenerator)
+			if !ok {
+				return nil, fmt.Errorf("node: dealer %T cannot run dealerless keygen", dealer)
+			}
+			ring, nk, blamed, silent, err := vote.DKGRing(gen, maxL, cfg.N, cfg.DKGFaults)
+			if err != nil {
+				return nil, fmt.Errorf("node: dealerless keygen: %w", err)
+			}
+			net.Ring = ring
+			net.NodeKeys = nk
+			net.DKGBlamed = blamed
+			net.DKGSilent = silent
+		} else {
+			ring, nk, err := vote.DealRing(dealer, maxL, cfg.N)
+			if err != nil {
+				return nil, fmt.Errorf("node: deal threshold keys: %w", err)
+			}
+			net.Ring = ring
+			net.NodeKeys = nk
 		}
-		net.Ring = ring
-		nodeKeys = nk
+		net.Dealer = dealer
 	}
 
 	for i := 0; i < cfg.N; i++ {
@@ -386,7 +419,7 @@ func Build(cfg Config) (*Network, error) {
 				Link:   nd.Link,
 				Topo:   nd.STS,
 				Ring:   net.Ring,
-				Keys:   nodeKeys[i],
+				Keys:   net.NodeKeys[i],
 				Susp:   nd.Susp,
 				SignKP: nd.SignKP,
 				Dir:    net.Dir,
@@ -399,6 +432,23 @@ func Build(cfg Config) (*Network, error) {
 			}
 			nd.Vote = vs
 			nd.Intercept.SetVerifier(vs.VerifierFor())
+		}
+		// Dealerless-keygen verdicts carry network-wide: a blame is backed
+		// by an opened sub-share contradicting its broadcast commitment, a
+		// proof any member can check, so every node records the suspicion —
+		// the same treatment a corrupt partial signature earns. Silence
+		// carries no proof of malice, so it only earns temporary suspicion.
+		for _, nd := range net.Nodes {
+			for _, b := range net.DKGBlamed {
+				if b != nd.Index {
+					nd.Susp.SuspectPermanent(link.NodeID(b), "dkg: sub-share contradicts commitment")
+				}
+			}
+			for _, s := range net.DKGSilent {
+				if s != nd.Index {
+					nd.Susp.SuspectTemporary(link.NodeID(s), "dkg: no dealing received")
+				}
+			}
 		}
 	}
 	return net, nil

@@ -1,0 +1,181 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"innercircle/internal/sts"
+	"innercircle/internal/vote"
+)
+
+// icSpec is a small runnable inner-circle spec for churn tests.
+func icSpec() *Spec {
+	s := validSpec()
+	s.SimTime = 10
+	s.Stack.IC = true
+	s.Stack.STS = sts.Config{Period: 0.9, Delta: 2, Authenticate: true, BeaconBaseBytes: 28}
+	s.Stack.Vote = vote.Config{Mode: vote.Deterministic, L: 2, RoundTimeout: 0.5, Retries: 1}
+	s.Stack.MaxL = 3
+	return s
+}
+
+func TestChurnValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(s *Spec)
+		wantErr string
+	}{
+		{"nil churn", func(s *Spec) { s.Churn = nil }, ""},
+		{"zero churn without IC", func(s *Spec) { s.Stack.IC = false; s.Churn = &Churn{} }, ""},
+		{"events without IC", func(s *Spec) {
+			s.Stack.IC = false
+			s.Churn = &Churn{CrashRejoin: 1}
+		}, "requires the inner circle"},
+		{"valid schedule", func(s *Spec) { s.Churn = &Churn{CrashRejoin: 2, Leaves: 1} }, ""},
+		{"bad policy", func(s *Spec) { s.Churn = &Churn{CrashRejoin: 1, Reshare: "sometimes"} }, "unknown reshare policy"},
+		{"interval policy without interval", func(s *Spec) {
+			s.Churn = &Churn{CrashRejoin: 1, Reshare: ReshareEvery}
+		}, "reshare_interval"},
+		{"negative counts", func(s *Spec) { s.Churn = &Churn{Leaves: -1} }, "negative churn event"},
+		{"negative times", func(s *Spec) { s.Churn = &Churn{CrashRejoin: 1, Downtime: -2} }, "negative churn times"},
+		{"all nodes protected", func(s *Spec) {
+			s.Churn = &Churn{CrashRejoin: 1, Protect: 10}
+		}, "protects all"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := icSpec()
+			tc.mutate(s)
+			err := s.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %v does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestChurnSpecJSONRoundTrip pins the wire form of the churn axis: the
+// field round-trips byte-identically, its absence marshals to nothing,
+// and unknown churn sub-fields are rejected.
+func TestChurnSpecJSONRoundTrip(t *testing.T) {
+	s := icSpec()
+	s.Churn = &Churn{
+		CrashRejoin:     4,
+		Leaves:          1,
+		Start:           2,
+		Window:          6,
+		Downtime:        1.5,
+		Reshare:         ReshareEvery,
+		ReshareInterval: 3,
+		RefreshInterval: 5,
+		Protect:         2,
+	}
+	first, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(first), `"churn":{"crash_rejoin":4`) {
+		t.Fatalf("churn field missing from wire form: %s", first)
+	}
+	var back Spec
+	if err := json.Unmarshal(first, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped spec invalid: %v", err)
+	}
+	second, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("re-marshal differs:\nfirst:  %s\nsecond: %s", first, second)
+	}
+
+	// No churn → no churn key on the wire (old artifacts hash unchanged).
+	s.Churn = nil
+	plain, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(plain), "churn") {
+		t.Fatalf("nil churn leaked into wire form: %s", plain)
+	}
+
+	// Unknown fields inside the churn object fail loudly.
+	drifted := bytes.Replace(first, []byte(`"crash_rejoin":4`), []byte(`"crash_rejoin":4,"surprise":1`), 1)
+	var bad Spec
+	if err := json.Unmarshal(drifted, &bad); err == nil {
+		t.Fatal("unknown churn field accepted")
+	}
+}
+
+// TestChurnRunDeterministic: a churn replica is reproducible, reports its
+// lifecycle counters, and is forced onto a single kernel even when the
+// spec requests shards.
+func TestChurnRunDeterministic(t *testing.T) {
+	run := func(shards int) *Result {
+		s := icSpec()
+		s.Shards = shards
+		s.Churn = &Churn{CrashRejoin: 2, Leaves: 1, Start: 2, Window: 4, Downtime: 1}
+		res, err := Run(s)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	a, b, sharded := run(0), run(0), run(4)
+	if a.Counter(CtrChurnEvents) == 0 {
+		t.Fatal("no churn events took effect")
+	}
+	if a.Counter(CtrChurnReshares) == 0 {
+		t.Fatal("event policy executed no reshares")
+	}
+	if a.Gauge(GaugeMembershipEpoch) == 0 {
+		t.Fatal("membership epoch never advanced")
+	}
+	if a.Counters.String() != b.Counters.String() || a.Gauges.String() != b.Gauges.String() {
+		t.Fatalf("same seed diverged:\n%s | %s\nvs\n%s | %s", a.Counters, a.Gauges, b.Counters, b.Gauges)
+	}
+	if sharded.Shards != 1 {
+		t.Fatalf("churn replica executed with %d shards", sharded.Shards)
+	}
+	if a.Counters.String() != sharded.Counters.String() || a.Gauges.String() != sharded.Gauges.String() {
+		t.Fatalf("shard request changed churn results:\n%s | %s\nvs\n%s | %s",
+			a.Counters, a.Gauges, sharded.Counters, sharded.Gauges)
+	}
+}
+
+// TestChurnOffMatchesNoChurn: churn disabled — whether by a nil field, a
+// zero schedule, or the IC_CHURN kill switch over a live schedule — runs
+// byte-identically to a spec that predates the churn axis. The churn=0
+// sweep column is the seed sweep.
+func TestChurnOffMatchesNoChurn(t *testing.T) {
+	run := func(mutate func(s *Spec)) *Result {
+		s := icSpec()
+		mutate(s)
+		res, err := Run(s)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	base := run(func(s *Spec) {})
+	zero := run(func(s *Spec) { s.Churn = &Churn{} })
+	t.Setenv("IC_CHURN", "off")
+	killed := run(func(s *Spec) { s.Churn = &Churn{CrashRejoin: 3, Leaves: 2} })
+	for name, res := range map[string]*Result{"zero-schedule": zero, "IC_CHURN=off": killed} {
+		if base.Counters.String() != res.Counters.String() || base.Gauges.String() != res.Gauges.String() {
+			t.Fatalf("%s diverged from the churn-free replica:\n%s | %s\nvs\n%s | %s",
+				name, base.Counters, base.Gauges, res.Counters, res.Gauges)
+		}
+	}
+}

@@ -67,6 +67,11 @@ type Spec struct {
 	Stack     Stack
 	Traffic   traffic.Program // optional; nil runs protocol traffic only
 	Adversary Adversary       // optional; nil runs a clean replica
+
+	// Churn schedules mid-run membership transitions over the inner
+	// circle (see Churn). Optional; nil runs a fixed-membership replica.
+	// Active churn forces the replica onto a single kernel.
+	Churn *Churn
 }
 
 // Stack assembles the per-node protocol stack: the node.Config layers
@@ -215,6 +220,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.Topology == nil {
 		return fmt.Errorf("scenario %q: topology required", s.Name)
+	}
+	if err := s.Churn.validate(s); err != nil {
+		return fmt.Errorf("scenario %q: churn: %w", s.Name, err)
 	}
 	registrars := 0
 	for _, c := range s.Stack.Components {
@@ -398,6 +406,13 @@ func runOnce(s *Spec, shards int) (*Result, error) {
 	if plan != nil {
 		plan.Start()
 	}
+	var churn *churnDriver
+	if s.Churn.active() {
+		churn, err = applyChurn(s.Churn, env)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: churn: %w", s.Name, err)
+		}
+	}
 
 	if err := net.Run(s.SimTime); err != nil {
 		return nil, fmt.Errorf("scenario %q: run: %w", s.Name, err)
@@ -425,6 +440,9 @@ func runOnce(s *Spec, shards int) (*Result, error) {
 		}
 		res.Counters.Add(CtrVoteMemoHits, hits)
 		res.Counters.Add(CtrVoteMemoMisses, misses)
+	}
+	if churn != nil {
+		churn.harvest(res)
 	}
 	if shards > 1 && net.Set != nil {
 		harvestShardStats(res, net.Set)

@@ -188,6 +188,11 @@ func effectiveShards(s *Spec) int {
 	if s.Stack.Tracer != nil {
 		return 1
 	}
+	if s.Churn.active() {
+		// Membership transitions swap every node's signer set at one
+		// instant; only a single kernel can order that against traffic.
+		return 1
+	}
 	if s.Traffic != nil {
 		sc, ok := s.Traffic.(interface{ ShardCapable() bool })
 		if !ok || !sc.ShardCapable() {

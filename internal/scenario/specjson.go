@@ -83,6 +83,7 @@ type specJSON struct {
 	Stack     stackJSON      `json:"stack"`
 	Traffic   *trafficJSON   `json:"traffic,omitempty"`
 	Adversary *adversaryJSON `json:"adversary,omitempty"`
+	Churn     *Churn         `json:"churn,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler over the declarative subset. It
@@ -117,6 +118,7 @@ func (s Spec) MarshalJSON() ([]byte, error) {
 			STSStart:     s.Stack.STSStart,
 		},
 	}
+	out.Churn = s.Churn
 	switch t := s.Topology.(type) {
 	case nil:
 	case RandomWaypoint:
@@ -169,6 +171,7 @@ func (s *Spec) UnmarshalJSON(b []byte) error {
 			SigWireBytes: in.Stack.SigWireBytes,
 			STSStart:     in.Stack.STSStart,
 		},
+		Churn: in.Churn,
 	}
 	if in.Topology != nil {
 		switch in.Topology.Kind {

@@ -99,11 +99,12 @@ type Stats struct {
 // Service is one node's secure topology service. Not safe for concurrent
 // use.
 type Service struct {
-	cfg    Config
-	deps   Deps
-	ticker *sim.Ticker
-	seq    uint64
-	neigh  map[link.NodeID]*neighEntry
+	cfg     Config
+	deps    Deps
+	ticker  *sim.Ticker
+	running bool
+	seq     uint64
+	neigh   map[link.NodeID]*neighEntry
 
 	onChange func()
 
@@ -136,6 +137,7 @@ func (s *Service) OnChange(fn func()) { s.onChange = fn }
 // (with a small jitter) so cold-started networks converge within one
 // period.
 func (s *Service) Start() {
+	s.running = true
 	s.sendBeacon()
 	s.ticker = sim.NewTicker(s.deps.K, s.cfg.Period, func() sim.Duration {
 		return s.deps.RNG.Jitter(s.cfg.Period / 10)
@@ -144,8 +146,19 @@ func (s *Service) Start() {
 
 // Stop halts beaconing.
 func (s *Service) Stop() {
+	s.running = false
 	if s.ticker != nil {
 		s.ticker.Stop()
+	}
+}
+
+// Announce sends one immediate out-of-schedule beacon. Membership epoch
+// transitions call it so the surviving circle re-announces its liveness
+// (and freshly joined nodes are heard) without waiting out a beacon
+// period. A no-op on a stopped service: a departed node must not beacon.
+func (s *Service) Announce() {
+	if s.running {
+		s.sendBeacon()
 	}
 }
 

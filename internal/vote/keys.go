@@ -56,3 +56,78 @@ func DealRing(dealer thresh.Dealer, maxL, n int) (PublicRing, []NodeKeys, error)
 	}
 	return ring, nodeKeys, nil
 }
+
+// DKGRing is DealRing's dealerless counterpart: the n nodes establish
+// every level key among themselves (thresh.KeyGenerator), with faults
+// scripting misbehaviour by node ID (0-based). The returned blamed slice
+// lists nodes disqualified with proof during any level's qualification
+// round — callers feed these to the suspicion machinery as permanent
+// suspects, the same verdict a corrupt partial signature earns — and
+// silent lists nodes that dropped out without proof of malice. Excluded
+// nodes end up with no signer for the affected levels, so they can hold
+// the public ring and verify but never co-sign.
+func DKGRing(gen thresh.KeyGenerator, maxL, n int, faults map[int]thresh.DKGFault) (PublicRing, []NodeKeys, []int, []int, error) {
+	if maxL < 1 {
+		return nil, nil, nil, nil, fmt.Errorf("vote: maxL must be >= 1, got %d", maxL)
+	}
+	if n < 2 {
+		return nil, nil, nil, nil, fmt.Errorf("vote: need at least 2 nodes, got %d", n)
+	}
+	// Shift the 0-based node fault map to the 1-based participant indices
+	// the DKG speaks.
+	var pf map[int]thresh.DKGFault
+	if len(faults) > 0 {
+		pf = make(map[int]thresh.DKGFault, len(faults))
+		for id, f := range faults {
+			pf[id+1] = f
+		}
+	}
+	ring := make(PublicRing, maxL)
+	nodeKeys := make([]NodeKeys, n)
+	for i := range nodeKeys {
+		nodeKeys[i] = make(NodeKeys, maxL)
+	}
+	blamedSet := make(map[int]bool)
+	silentSet := make(map[int]bool)
+	for level := 1; level <= maxL; level++ {
+		if level+1 > n {
+			break
+		}
+		res, err := gen.DKG(thresh.DKGConfig{K: level, N: n, Faults: pf})
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("vote: dkg level %d: %w", level, err)
+		}
+		ring[level] = res.Key
+		for i, s := range res.Signers {
+			if s != nil {
+				nodeKeys[i][level] = s
+			}
+		}
+		for _, p := range res.Blamed {
+			blamedSet[p-1] = true
+		}
+		for _, p := range res.Silent {
+			silentSet[p-1] = true
+		}
+	}
+	blamed := sortedIDs(blamedSet)
+	silent := sortedIDs(silentSet)
+	return ring, nodeKeys, blamed, silent, nil
+}
+
+// sortedIDs flattens an ID set into ascending order.
+func sortedIDs(set map[int]bool) []int {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; blamed sets are tiny
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

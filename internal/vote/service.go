@@ -802,13 +802,53 @@ func (s *Service) verifyPartial(pv thresh.PartialVerifier, dig []byte, p thresh.
 	return ok
 }
 
-// keyEpoch reads the optional proactive-refresh epoch of a group key, so
-// memo entries die with the share epoch that produced them.
+// keyEpoch reads a group key's key-material epoch through the first-class
+// thresh.Epoched capability, so memo entries die with the share epoch that
+// produced them — a refresh or reshare bumps the epoch and every cached
+// verdict keyed under the old one stops being served.
 func keyEpoch(gk any) uint64 {
-	if e, ok := gk.(interface{ Epoch() uint64 }); ok {
+	if e, ok := gk.(thresh.Epoched); ok {
 		return e.Epoch()
 	}
 	return 0
+}
+
+// SetKeys replaces this node's signer set, the per-node half of a
+// membership epoch transition: the public ring object is mutated in place
+// by the dealer's refresh/reshare, while each member installs its new
+// signers here. A node expelled from (or not yet admitted to) the circle
+// installs an empty map and silently declines to ack until re-admitted.
+func (s *Service) SetKeys(nk NodeKeys) {
+	if nk == nil {
+		nk = NodeKeys{}
+	}
+	s.deps.Keys = nk
+}
+
+// AbortInFlight fails every round this node is currently centering, in
+// ascending sequence order (map order would make failure callbacks — and
+// therefore traces — vary between identical runs). The membership layer
+// calls it to drain in-flight votes before swapping signer sets: a round
+// straddling a reshare would otherwise try to combine partials from two
+// incompatible share polynomials. Returns the number of rounds aborted.
+func (s *Service) AbortInFlight(reason string) int {
+	if len(s.rounds) == 0 {
+		return 0
+	}
+	seqs := make([]uint64, 0, len(s.rounds))
+	for seq := range s.rounds {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		r := s.rounds[seq]
+		r.done = true
+		r.timer.Stop()
+		delete(s.rounds, seq)
+		s.Stats.RoundsFailed++
+		s.failRound(r.value, reason)
+	}
+	return len(seqs)
 }
 
 // VerifierFor adapts the service into an interceptor signature check: it

@@ -50,6 +50,11 @@ type voteNet struct {
 	links []*link.Service
 	macs  []*mac.MAC
 	susp  []*icnet.SuspicionManager
+	// Key lifecycle handles, retained so epoch-transition tests can
+	// refresh/reshare mid-run.
+	dealer *thresh.SimDealer
+	ring   PublicRing
+	keys   []NodeKeys
 }
 
 // buildVote assembles the harness. cbs is instantiated per node via mkCbs.
@@ -73,7 +78,7 @@ func buildVote(t *testing.T, n int, cfg Config, mkCbs func(i int) Callbacks) *vo
 		kps[i] = kp
 		dir[int64(i)] = kp.Pub
 	}
-	net := &voteNet{k: k}
+	net := &voteNet{k: k, dealer: dealer, ring: ring, keys: keys}
 	for i := 0; i < n; i++ {
 		// All nodes within 100 m: single collision domain.
 		pos := geo.Point{X: float64(i%5) * 40, Y: float64(i/5) * 40}
