@@ -16,6 +16,7 @@ import (
 
 	"innercircle/internal/artifact"
 	"innercircle/internal/experiment"
+	"innercircle/internal/sim"
 )
 
 // Main runs a tool body and turns its error into the conventional
@@ -35,27 +36,35 @@ func StartCPUProfile(path string) (stop func(), err error) {
 }
 
 // Profile holds the destinations of the profiling flags every cmd/ tool
-// shares: a CPU profile covering the run and a heap snapshot taken at
-// stop time (after a GC, so live allocations — the sweep engine's steady
-// state — dominate over garbage).
+// shares: a CPU profile covering the run, a heap snapshot taken at stop
+// time (after a GC, so live allocations — the sweep engine's steady state
+// — dominate over garbage), and block/mutex contention profiles covering
+// the run (for inspecting the sharded executors' synchronization and the
+// event queue's claimed freedom from it).
 type Profile struct {
-	CPU string
-	Mem string
+	CPU   string
+	Mem   string
+	Block string
+	Mutex string
 }
 
-// AddProfileFlags registers the shared -cpuprofile/-memprofile flags on
-// fs and returns the Profile they fill in after fs is parsed.
+// AddProfileFlags registers the shared profiling flags
+// (-cpuprofile/-memprofile/-blockprofile/-mutexprofile) on fs and returns
+// the Profile they fill in after fs is parsed.
 func AddProfileFlags(fs *flag.FlagSet) *Profile {
 	p := &Profile{}
 	fs.StringVar(&p.CPU, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	fs.StringVar(&p.Mem, "memprofile", "", "write a pprof heap profile at exit to this file")
+	fs.StringVar(&p.Block, "blockprofile", "", "write a pprof blocking profile of the run to this file")
+	fs.StringVar(&p.Mutex, "mutexprofile", "", "write a pprof mutex-contention profile of the run to this file")
 	return p
 }
 
 // Start begins the requested profiles and returns the stop function to
-// defer: it ends the CPU profile and writes the heap snapshot. Profile
-// setup failures are returned; a failed heap write at stop time is
-// reported on stderr (the run's results already exist — don't fail them).
+// defer: it ends the CPU profile, writes the heap snapshot, and writes
+// (then disables) the contention profiles. Profile setup failures are
+// returned; a failed profile write at stop time is reported on stderr
+// (the run's results already exist — don't fail them).
 func (p *Profile) Start() (stop func(), err error) {
 	var cpuFile *os.File
 	if p.CPU != "" {
@@ -68,29 +77,51 @@ func (p *Profile) Start() (stop func(), err error) {
 			return nil, fmt.Errorf("cpuprofile: %w", err)
 		}
 	}
-	memPath := p.Mem
+	if p.Block != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	if p.Mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	memPath, blockPath, mutexPath := p.Mem, p.Block, p.Mutex
 	return func() {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
 			cpuFile.Close()
 		}
-		if memPath == "" {
-			return
+		if memPath != "" {
+			if err := writeHeapProfile(memPath); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
 		}
-		if err := writeHeapProfile(memPath); err != nil {
-			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		if blockPath != "" {
+			if err := writeLookupProfile("block", blockPath); err != nil {
+				fmt.Fprintln(os.Stderr, "blockprofile:", err)
+			}
+			runtime.SetBlockProfileRate(0)
+		}
+		if mutexPath != "" {
+			if err := writeLookupProfile("mutex", mutexPath); err != nil {
+				fmt.Fprintln(os.Stderr, "mutexprofile:", err)
+			}
+			runtime.SetMutexProfileFraction(0)
 		}
 	}, nil
 }
 
 // writeHeapProfile snapshots the heap into path.
 func writeHeapProfile(path string) error {
+	runtime.GC() // flush garbage so the snapshot shows live memory
+	return writeLookupProfile("heap", path)
+}
+
+// writeLookupProfile writes the named runtime profile into path.
+func writeLookupProfile(name, path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	runtime.GC() // flush garbage so the snapshot shows live memory
-	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
 		f.Close()
 		return err
 	}
@@ -115,6 +146,27 @@ func AddShardsFlag(fs *flag.FlagSet) (apply func() error) {
 			return nil
 		}
 		return os.Setenv("IC_SHARDS", strconv.Itoa(*n))
+	}
+}
+
+// AddQueueFlag registers the shared -kernelqueue flag on fs and returns
+// an apply function to call once fs is parsed. Like AddShardsFlag it
+// routes through an environment knob (IC_KERNEL_QUEUE): empty (the
+// default) leaves the knob untouched, "wheel" or "heap" pins that queue
+// implementation for every kernel the process builds. The flag is an A/B
+// switch only — results are byte-identical either way; solely
+// schedule/pop cost differs (see DESIGN.md §14).
+func AddQueueFlag(fs *flag.FlagSet) (apply func() error) {
+	q := fs.String("kernelqueue", "", `event-queue implementation: "wheel" or "heap" (empty = honor IC_KERNEL_QUEUE env)`)
+	return func() error {
+		switch *q {
+		case "":
+			return nil
+		case "wheel", "heap":
+			return os.Setenv(sim.QueueEnvVar, *q)
+		default:
+			return fmt.Errorf("-kernelqueue %q: want wheel or heap", *q)
+		}
 	}
 }
 

@@ -14,10 +14,15 @@ func TestAddProfileFlags(t *testing.T) {
 	dir := t.TempDir()
 	cpu := filepath.Join(dir, "cpu.pprof")
 	mem := filepath.Join(dir, "mem.pprof")
-	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+	block := filepath.Join(dir, "block.pprof")
+	mutex := filepath.Join(dir, "mutex.pprof")
+	if err := fs.Parse([]string{
+		"-cpuprofile", cpu, "-memprofile", mem,
+		"-blockprofile", block, "-mutexprofile", mutex,
+	}); err != nil {
 		t.Fatal(err)
 	}
-	if p.CPU != cpu || p.Mem != mem {
+	if p.CPU != cpu || p.Mem != mem || p.Block != block || p.Mutex != mutex {
 		t.Fatalf("flags not bound: %+v", p)
 	}
 	stop, err := p.Start()
@@ -25,7 +30,7 @@ func TestAddProfileFlags(t *testing.T) {
 		t.Fatal(err)
 	}
 	stop()
-	for _, path := range []string{cpu, mem} {
+	for _, path := range []string{cpu, mem, block, mutex} {
 		st, err := os.Stat(path)
 		if err != nil {
 			t.Fatalf("profile %s not written: %v", path, err)
@@ -81,6 +86,44 @@ func TestParseLevels(t *testing.T) {
 		if _, err := ParseLevels(bad); err == nil {
 			t.Errorf("ParseLevels(%q) accepted", bad)
 		}
+	}
+}
+
+func TestAddQueueFlag(t *testing.T) {
+	t.Setenv("IC_KERNEL_QUEUE", "heap") // restore after; also pins the no-override case
+
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	apply := AddQueueFlag(fs)
+	if err := fs.Parse([]string{"-kernelqueue", "wheel"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := apply(); err != nil {
+		t.Fatal(err)
+	}
+	if got := os.Getenv("IC_KERNEL_QUEUE"); got != "wheel" {
+		t.Fatalf("IC_KERNEL_QUEUE = %q after -kernelqueue wheel", got)
+	}
+
+	t.Setenv("IC_KERNEL_QUEUE", "heap")
+	fs = flag.NewFlagSet("t", flag.ContinueOnError)
+	apply = AddQueueFlag(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := apply(); err != nil {
+		t.Fatal(err)
+	}
+	if got := os.Getenv("IC_KERNEL_QUEUE"); got != "heap" {
+		t.Fatalf("default -kernelqueue clobbered IC_KERNEL_QUEUE: %q", got)
+	}
+
+	fs = flag.NewFlagSet("t", flag.ContinueOnError)
+	apply = AddQueueFlag(fs)
+	if err := fs.Parse([]string{"-kernelqueue", "fibheap"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := apply(); err == nil {
+		t.Error("unknown queue kind accepted")
 	}
 }
 

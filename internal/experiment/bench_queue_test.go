@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"innercircle/internal/scenario"
+)
+
+// TestQueueKindEquivalence is the fast end-to-end check that the timer
+// wheel and the binary heap produce identical results on a real scenario.
+// The full byte-identical sweep matrix lives in TestSweepShardCountInvariant
+// (which is skipped under -short); this one runs everywhere.
+func TestQueueKindEquivalence(t *testing.T) {
+	cfg := PaperSensorConfig()
+	cfg.Seed = 3
+	cfg.SimTime = 60
+	t.Setenv("IC_KERNEL_QUEUE", "wheel")
+	want, err := RunSensor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("IC_KERNEL_QUEUE", "heap")
+	got, err := RunSensor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("heap result differs from wheel:\nheap  %+v\nwheel %+v", got, want)
+	}
+}
+
+// BenchmarkQueueField measures the sensor-field replica under both event
+// queues (BENCH_queue.json). Variant names pin the queue and executor
+// explicitly; shard counts per size follow BenchmarkShardedFieldMC (the
+// largest tie-free count at seed 1), shards=0 rows run the single-kernel
+// path the wheel most directly accelerates.
+func BenchmarkQueueField(b *testing.B) {
+	variants := []struct {
+		name string
+		env  map[string]string
+	}{
+		{"heap-seq", map[string]string{"IC_KERNEL_QUEUE": "heap", "IC_SHARD_EXEC": "seq"}},
+		{"wheel-seq", map[string]string{"IC_KERNEL_QUEUE": "wheel", "IC_SHARD_EXEC": "seq"}},
+		{"heap-par", map[string]string{"IC_KERNEL_QUEUE": "heap", "IC_SHARD_EXEC": "par"}},
+		{"wheel-par", map[string]string{"IC_KERNEL_QUEUE": "wheel", "IC_SHARD_EXEC": "par"}},
+	}
+	knobs := []string{"IC_KERNEL_QUEUE", "IC_SHARD_EXEC", "IC_SHARD_GROUPS", "IC_SHARD_PART", "IC_SHARD_MSGLA", "IC_WORKERS", "IC_CORE_BUDGET"}
+	procs := runtime.GOMAXPROCS(0)
+	for _, p := range []struct{ nodes, shards int }{
+		{1000, 4}, {10000, 6}, {100000, 8},
+	} {
+		for _, v := range variants {
+			b.Run(fmt.Sprintf("nodes=%d/procs=%d/%s", p.nodes, procs, v.name), func(b *testing.B) {
+				for _, knob := range knobs {
+					b.Setenv(knob, v.env[knob])
+				}
+				cfg := ScaledSensorConfig(p.nodes)
+				cfg.Seed = 1
+				cfg.Shards = p.shards
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					spec, err := sensorSpec(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := scenario.Run(spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Shards != p.shards {
+						b.Fatalf("replica executed with %d shards, want %d (fallback or tie rerun — numbers would be mislabeled)", res.Shards, p.shards)
+					}
+				}
+			})
+		}
+	}
+}

@@ -30,7 +30,7 @@ func shardSensorTables(t *testing.T, shards int) []string {
 // sweepKnobs is every environment knob that selects a sweep execution
 // strategy. Each invariance subtest pins all of them so variants cannot
 // leak into each other or inherit strategy from the ambient environment.
-var sweepKnobs = []string{"IC_SHARD_EXEC", "IC_SHARD_GROUPS", "IC_SHARD_PART", "IC_WORKERS", "IC_CORE_BUDGET", "IC_SHARD_STATS"}
+var sweepKnobs = []string{"IC_SHARD_EXEC", "IC_SHARD_GROUPS", "IC_SHARD_PART", "IC_WORKERS", "IC_CORE_BUDGET", "IC_SHARD_STATS", "IC_KERNEL_QUEUE"}
 
 // TestSweepShardCountInvariant pins the sharded kernel's determinism
 // contract end to end: sweep tables are byte-identical at every shard
@@ -60,6 +60,12 @@ func TestSweepShardCountInvariant(t *testing.T) {
 		{"budgeted/workers=4/shards=4", 4, map[string]string{"IC_WORKERS": "4", "IC_CORE_BUDGET": "4"}},
 		{"legacy-partition/par/shards=4", 4, map[string]string{"IC_SHARD_EXEC": "par", "IC_SHARD_PART": "legacy"}},
 		{"shardstats/par/shards=4", 4, map[string]string{"IC_SHARD_EXEC": "par", "IC_SHARD_STATS": "1"}},
+		// The queue axis: the binary heap must reproduce the timer wheel's
+		// (default) tables byte-for-byte, unsharded and under both executors.
+		{"heap/shards=1", 1, map[string]string{"IC_KERNEL_QUEUE": "heap"}},
+		{"heap/seq/shards=4", 4, map[string]string{"IC_KERNEL_QUEUE": "heap", "IC_SHARD_EXEC": "seq"}},
+		{"heap/par/shards=4", 4, map[string]string{"IC_KERNEL_QUEUE": "heap", "IC_SHARD_EXEC": "par"}},
+		{"wheel/par/shards=4", 4, map[string]string{"IC_KERNEL_QUEUE": "wheel", "IC_SHARD_EXEC": "par"}},
 	}
 	for _, knob := range sweepKnobs {
 		t.Setenv(knob, "")

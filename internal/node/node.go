@@ -474,7 +474,7 @@ func (net *Network) StartSTSJittered(rng *sim.RNG, window sim.Duration) {
 			// Jitter values are drawn in node order from the shared stream
 			// regardless of sharding, so the schedule is shard-invariant;
 			// each start runs on its node's home kernel.
-			nd.K.MustSchedule(rng.Jitter(window), svc.Start)
+			nd.K.ScheduleFire(rng.Jitter(window), svc.Start)
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
 )
 
 // Time is a point in virtual simulation time, measured in seconds since the
@@ -41,12 +42,11 @@ type EventID uint64
 // method value instead of allocating a fresh closure per event.
 type event struct {
 	at     Time
-	seq    uint64 // scheduling order, breaks ties deterministically
+	seq    uint64  // scheduling order, breaks ties deterministically
 	id     EventID // 0 for fire-and-forget events (ScheduleFire)
 	fn     func()
 	fnArg  func(any)
 	arg    any
-	index  int // heap index
 	cancel bool
 	// tx marks a transmission-capable event of a border node on a sharded
 	// kernel (ScheduleFireTx): its timestamp participates in the shard's
@@ -60,7 +60,10 @@ type event struct {
 // kernel's hottest path, and going through container/heap's interface
 // costs an uninlinable Less/Swap call per level. (at, seq) is a strict
 // total order — seq is unique — so the pop sequence is identical to any
-// correct heap's; only the constant factor changes.
+// correct heap's; only the constant factor changes. The same type also
+// serves as the wheel queue's same-bucket run and overflow store, where
+// the identical comparator keeps the merged pop order byte-identical to
+// the pure-heap kernel's.
 type eventHeap []*event
 
 // before reports whether a sorts strictly before b.
@@ -82,19 +85,18 @@ func (h *eventHeap) push(ev *event) {
 			break
 		}
 		q[i] = p
-		p.index = i
 		i = parent
 	}
 	q[i] = ev
-	ev.index = i
 	*h = q
 }
 
-// pop removes and returns the minimum event.
+// pop removes and returns the minimum event. The vacated tail slot is
+// nilled so a fired event's closure and captures never linger in the
+// heap's backing array until the next growth.
 func (h *eventHeap) pop() *event {
 	q := *h
 	top := q[0]
-	top.index = -1
 	n := len(q) - 1
 	last := q[n]
 	q[n] = nil
@@ -117,11 +119,9 @@ func (h *eventHeap) pop() *event {
 			break
 		}
 		q[i] = child
-		child.index = i
 		i = c
 	}
 	q[i] = last
-	last.index = i
 	return top
 }
 
@@ -134,8 +134,13 @@ var ErrPastEvent = errors.New("sim: event scheduled in the past")
 // single-threaded interleaving of events, which is what makes runs
 // reproducible.
 type Kernel struct {
-	now     Time
-	queue   eventHeap
+	now Time
+	// Exactly one queue implementation is active, chosen at construction
+	// (IC_KERNEL_QUEUE): heap is the classic binary heap, wheel the
+	// hierarchical timer wheel (wheel.go). Both pop in the identical
+	// (time, seq) total order; only schedule/pop cost differs.
+	heap    eventHeap
+	wheel   *wheelQueue
 	nextSeq uint64
 	nextID  EventID
 	byID    map[EventID]*event
@@ -199,19 +204,103 @@ func (k *Kernel) getEvent(at Time) *event {
 	return ev
 }
 
-// putEvent clears ev (so recycled events retain no closures or arguments)
-// and returns it to the free list, unless the list is already at capacity.
+// putEvent clears ev and returns it to the free list, unless the list is
+// already at capacity. The clear is unconditional — even an event the pool
+// will not keep must drop its closure and argument (so a fired callback's
+// captures become collectible immediately) and its sequence number (so a
+// stale TimerHandle to a retired event can never match it again).
 func (k *Kernel) putEvent(ev *event) {
+	*ev = event{}
 	if len(k.pool) >= maxEventPool {
 		return
 	}
-	*ev = event{}
 	k.pool = append(k.pool, ev)
 }
 
-// NewKernel returns a kernel with the clock at time zero.
+// QueueKind selects the kernel's event-queue implementation.
+type QueueKind int
+
+const (
+	// QueueWheel is the hierarchical timer wheel backed by an overflow
+	// heap (wheel.go): amortized O(1) schedule and fire. The default.
+	QueueWheel QueueKind = iota
+	// QueueHeap is the binary heap: O(log n) schedule and fire. Retained
+	// as the A/B reference; results are byte-identical either way.
+	QueueHeap
+)
+
+// QueueEnvVar is the environment knob pinning the queue implementation.
+const QueueEnvVar = "IC_KERNEL_QUEUE"
+
+// QueueFromEnv maps IC_KERNEL_QUEUE onto a QueueKind: "heap" pins the
+// binary heap, anything else (including unset and "wheel") selects the
+// timer wheel.
+func QueueFromEnv() QueueKind {
+	if os.Getenv(QueueEnvVar) == "heap" {
+		return QueueHeap
+	}
+	return QueueWheel
+}
+
+// NewKernel returns a kernel with the clock at time zero, using the queue
+// implementation IC_KERNEL_QUEUE selects.
 func NewKernel() *Kernel {
-	return &Kernel{byID: make(map[EventID]*event), lastLocalAt: -1}
+	return NewKernelQueue(QueueFromEnv())
+}
+
+// NewKernelQueue returns a kernel with the clock at time zero and the
+// given queue implementation, regardless of IC_KERNEL_QUEUE.
+func NewKernelQueue(q QueueKind) *Kernel {
+	k := &Kernel{byID: make(map[EventID]*event), lastLocalAt: -1}
+	if q == QueueWheel {
+		k.wheel = newWheelQueue()
+	}
+	return k
+}
+
+// Queue reports which queue implementation this kernel runs on.
+func (k *Kernel) Queue() QueueKind {
+	if k.wheel != nil {
+		return QueueWheel
+	}
+	return QueueHeap
+}
+
+// qpush, qpop, qpeek and qlen are the kernel's only queue access points;
+// each branches to the active implementation. A branch (rather than an
+// interface) keeps the heap path free of dynamic dispatch on the hottest
+// loop in the simulator.
+
+func (k *Kernel) qpush(ev *event) {
+	if k.wheel != nil {
+		k.wheel.push(ev)
+		return
+	}
+	k.heap.push(ev)
+}
+
+func (k *Kernel) qpop() *event {
+	if k.wheel != nil {
+		return k.wheel.pop()
+	}
+	return k.heap.pop()
+}
+
+func (k *Kernel) qpeek() *event {
+	if k.wheel != nil {
+		return k.wheel.peek()
+	}
+	if len(k.heap) == 0 {
+		return nil
+	}
+	return k.heap[0]
+}
+
+func (k *Kernel) qlen() int {
+	if k.wheel != nil {
+		return k.wheel.len()
+	}
+	return len(k.heap)
 }
 
 // Now returns the current virtual time.
@@ -238,7 +327,7 @@ func (k *Kernel) ScheduleAt(at Time, fn func()) (EventID, error) {
 	k.nextID++
 	ev.id = k.nextID
 	ev.fn = fn
-	k.queue.push(ev)
+	k.qpush(ev)
 	k.byID[ev.id] = ev
 	return ev.id, nil
 }
@@ -254,7 +343,7 @@ func (k *Kernel) ScheduleFire(delay Duration, fn func()) {
 	}
 	ev := k.getEvent(k.now + delay)
 	ev.fn = fn
-	k.queue.push(ev)
+	k.qpush(ev)
 }
 
 // ScheduleFireArg is ScheduleFire for callbacks taking one argument. Hot
@@ -268,7 +357,50 @@ func (k *Kernel) ScheduleFireArg(delay Duration, fn func(any), arg any) {
 	ev := k.getEvent(k.now + delay)
 	ev.fnArg = fn
 	ev.arg = arg
-	k.queue.push(ev)
+	k.qpush(ev)
+}
+
+// TimerHandle is a direct reference to a scheduled event — the O(1)
+// cancellation path Timer and Ticker use. Cancelling through a handle
+// tombstones the event in place (it is retired when it reaches the front
+// of the queue), so neither scheduling nor firing a handled event touches
+// the byID cancellation map. The zero TimerHandle references nothing.
+//
+// A handle stays valid until its event fires; the embedded sequence number
+// (unique across a kernel's lifetime, and cleared when the event struct is
+// retired) makes cancellation through a stale handle a safe no-op even
+// after the free-list pool has recycled the struct for a new event.
+type TimerHandle struct {
+	ev  *event
+	seq uint64
+}
+
+// Active reports whether the handle references an event (which may have
+// fired or been cancelled since; Kernel.CancelHandle gives the exact
+// answer).
+func (h TimerHandle) Active() bool { return h.ev != nil }
+
+// ScheduleFireHandle runs fn after delay, like ScheduleFire, and returns a
+// handle for O(1) cancellation. It panics on a negative delay.
+func (k *Kernel) ScheduleFireHandle(delay Duration, fn func()) TimerHandle {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: ScheduleFireHandle: %v: delay=%v now=%v", ErrPastEvent, delay, k.now))
+	}
+	ev := k.getEvent(k.now + delay)
+	ev.fn = fn
+	k.qpush(ev)
+	return TimerHandle{ev: ev, seq: ev.seq}
+}
+
+// CancelHandle tombstones the event h references. It reports false — and
+// does nothing — when h is the zero handle, the event already fired, or it
+// was already cancelled.
+func (k *Kernel) CancelHandle(h TimerHandle) bool {
+	if h.ev == nil || h.ev.seq != h.seq || h.ev.cancel {
+		return false
+	}
+	h.ev.cancel = true
+	return true
 }
 
 // ScheduleFireTx is ScheduleFire for transmission-capable events — the MAC
@@ -298,7 +430,7 @@ func (k *Kernel) ScheduleFireTx(delay Duration, fn func(), border bool) {
 	ev := k.getEvent(k.now + delay)
 	ev.fn = fn
 	ev.tx = true
-	k.queue.push(ev)
+	k.qpush(ev)
 	k.shard.pushBorder(ev.at)
 }
 
@@ -318,19 +450,19 @@ func (k *Kernel) scheduleMsg(at Time, seq uint64, fn func(any), arg any) {
 	ev.seq = seq
 	ev.fnArg = fn
 	ev.arg = arg
-	k.queue.push(ev)
+	k.qpush(ev)
 }
 
 // peekLive returns the next non-cancelled event without executing it, or nil
 // when the queue is empty. Cancelled events encountered on top are retired.
 func (k *Kernel) peekLive() *event {
-	for len(k.queue) > 0 && k.queue[0].cancel {
-		k.putEvent(k.queue.pop())
+	for {
+		ev := k.qpeek()
+		if ev == nil || !ev.cancel {
+			return ev
+		}
+		k.putEvent(k.qpop())
 	}
-	if len(k.queue) == 0 {
-		return nil
-	}
-	return k.queue[0]
 }
 
 // MustSchedule is Schedule for callers that control delay and know it is
@@ -378,11 +510,8 @@ func (k *Kernel) Stop() {
 // Step executes the next pending event, advancing the clock to its
 // timestamp. It reports false when the queue is empty.
 func (k *Kernel) Step() bool {
-	for len(k.queue) > 0 {
-		// Unchecked assertion: the heap holds only *event values, so a
-		// mismatch is a programmer error that must crash, not silently end
-		// the run (matching MustSchedule's fail-loud policy).
-		ev := k.queue.pop()
+	for k.qlen() > 0 {
+		ev := k.qpop()
 		if ev.cancel {
 			k.putEvent(ev)
 			continue
@@ -435,14 +564,8 @@ func (k *Kernel) Run(until Time) error {
 		if k.limit > 0 && k.processed >= k.limit {
 			return fmt.Errorf("sim: event limit %d reached at %v", k.limit, k.now)
 		}
-		for len(k.queue) > 0 && k.queue[0].cancel {
-			k.putEvent(k.queue.pop())
-		}
-		if len(k.queue) == 0 {
-			break
-		}
-		next := k.queue[0]
-		if next.at > until {
+		next := k.peekLive()
+		if next == nil || next.at > until {
 			break
 		}
 		k.Step()

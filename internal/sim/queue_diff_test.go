@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The differential test drives the heap and wheel kernels with an identical
+// scripted stream of schedule/cancel/fire operations and asserts the fire
+// orders and kernel stats match exactly. The script is pure data so both
+// kernels replay precisely the same calls; any divergence is a determinism
+// bug in one of the queues.
+
+type diffOpKind int
+
+const (
+	opSchedule     diffOpKind = iota // MustSchedule, remembers the EventID
+	opFire                           // ScheduleFire
+	opFireArg                        // ScheduleFireArg
+	opFireHandle                     // ScheduleFireHandle, remembers the handle
+	opCancelID                       // Cancel a previously issued EventID (possibly already fired)
+	opCancelHandle                   // CancelHandle on a previous handle (possibly already fired)
+	opRun                            // Run(now + horizon)
+)
+
+type diffOp struct {
+	kind    diffOpKind
+	delay   Duration // schedule delay, or Run horizon
+	target  int      // index into issued ids/handles for the cancel ops
+	repeats int      // same-tick tie burst: schedule this many at one timestamp
+}
+
+// diffScript builds a deterministic operation stream exercising the corner
+// cases the queues disagree on first if anything is wrong: same-tick ties,
+// zero-delay events, sub-quantum separations, far-future overflow timers,
+// cancels of already-fired ids and handles, and Run horizons that park the
+// clock between events.
+func diffScript(seed int64, n int) []diffOp {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]diffOp, 0, n)
+	delays := []Duration{
+		0, 0, 1e-9, 5e-6, 1e-5, 5e-5, 2e-4, 1e-3, 0.02, 0.5, 3, 600, 1e7,
+	}
+	for i := 0; i < n; i++ {
+		switch r := rng.Intn(10); {
+		case r < 3:
+			ops = append(ops, diffOp{kind: opSchedule, delay: delays[rng.Intn(len(delays))]})
+		case r < 5:
+			ops = append(ops, diffOp{kind: opFire, delay: delays[rng.Intn(len(delays))], repeats: 1 + rng.Intn(4)})
+		case r < 6:
+			ops = append(ops, diffOp{kind: opFireArg, delay: delays[rng.Intn(len(delays))]})
+		case r < 7:
+			ops = append(ops, diffOp{kind: opFireHandle, delay: delays[rng.Intn(len(delays))]})
+		case r < 8:
+			ops = append(ops, diffOp{kind: opCancelID, target: rng.Intn(1 + i)})
+		case r < 9:
+			ops = append(ops, diffOp{kind: opCancelHandle, target: rng.Intn(1 + i)})
+		default:
+			ops = append(ops, diffOp{kind: opRun, delay: delays[rng.Intn(len(delays))]})
+		}
+	}
+	return ops
+}
+
+// diffReplay applies the script to a fresh kernel of the given kind and
+// returns the observed fire trace plus final stats. Every scheduled
+// callback logs a label unique to its issuing op, so identical traces mean
+// identical fire order, not merely identical counts.
+func diffReplay(t *testing.T, kind QueueKind, ops []diffOp) (trace []string, processed uint64, pending int) {
+	t.Helper()
+	k := NewKernelQueue(kind)
+	var ids []EventID
+	var handles []TimerHandle
+	logf := func(label string) func() {
+		return func() { trace = append(trace, fmt.Sprintf("%s@%v", label, k.Now())) }
+	}
+	logArg := func(a any) { trace = append(trace, fmt.Sprintf("%s@%v", a.(string), k.Now())) }
+	for i, op := range ops {
+		switch op.kind {
+		case opSchedule:
+			ids = append(ids, k.MustSchedule(op.delay, logf(fmt.Sprintf("sched%d", i))))
+		case opFire:
+			for r := 0; r < op.repeats; r++ {
+				k.ScheduleFire(op.delay, logf(fmt.Sprintf("fire%d.%d", i, r)))
+			}
+		case opFireArg:
+			k.ScheduleFireArg(op.delay, logArg, fmt.Sprintf("arg%d", i))
+		case opFireHandle:
+			handles = append(handles, k.ScheduleFireHandle(op.delay, logf(fmt.Sprintf("hfire%d", i))))
+		case opCancelID:
+			if len(ids) > 0 {
+				id := ids[op.target%len(ids)]
+				trace = append(trace, fmt.Sprintf("cancel%d=%t", i, k.Cancel(id)))
+			}
+		case opCancelHandle:
+			if len(handles) > 0 {
+				h := handles[op.target%len(handles)]
+				trace = append(trace, fmt.Sprintf("hcancel%d=%t", i, k.CancelHandle(h)))
+			}
+		case opRun:
+			if err := k.Run(k.Now() + op.delay); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			trace = append(trace, fmt.Sprintf("run%d@%v", i, k.Now()))
+		}
+	}
+	if err := k.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	return trace, k.Processed(), k.Pending()
+}
+
+// TestQueueDifferentialRandom replays many seeded scripts against both
+// queue implementations and requires byte-identical traces and stats.
+func TestQueueDifferentialRandom(t *testing.T) {
+	seeds := 30
+	opsPerSeed := 400
+	if testing.Short() {
+		seeds, opsPerSeed = 8, 150
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		ops := diffScript(seed, opsPerSeed)
+		hTrace, hProc, hPend := diffReplay(t, QueueHeap, ops)
+		wTrace, wProc, wPend := diffReplay(t, QueueWheel, ops)
+		if hProc != wProc || hPend != wPend {
+			t.Fatalf("seed %d: stats diverge: heap processed=%d pending=%d, wheel processed=%d pending=%d",
+				seed, hProc, hPend, wProc, wPend)
+		}
+		if len(hTrace) != len(wTrace) {
+			t.Fatalf("seed %d: trace lengths diverge: heap %d, wheel %d", seed, len(hTrace), len(wTrace))
+		}
+		for i := range hTrace {
+			if hTrace[i] != wTrace[i] {
+				t.Fatalf("seed %d: traces diverge at %d: heap %q, wheel %q", seed, i, hTrace[i], wTrace[i])
+			}
+		}
+	}
+}

@@ -3,11 +3,16 @@ package sim
 // Timer is a resettable one-shot timer on the simulation clock, the building
 // block for protocol timeouts (route expiry, voting-round deadlines, beacon
 // periods). The zero value is not usable; use NewTimer.
+//
+// Timers ride the TimerHandle fast path: arming costs one queue push and
+// Stop tombstones the pending event in place, so the kernel's byID
+// cancellation map is never touched — timer events consequently do not
+// appear in Kernel.Pending.
 type Timer struct {
 	k    *Kernel
 	fn   func()
 	wrap func() // built once; Reset would otherwise allocate a closure per arming
-	id   EventID
+	h    TimerHandle
 	at   Time
 }
 
@@ -15,7 +20,7 @@ type Timer struct {
 func NewTimer(k *Kernel, fn func()) *Timer {
 	t := &Timer{k: k, fn: fn}
 	t.wrap = func() {
-		t.id = 0
+		t.h = TimerHandle{}
 		t.fn()
 	}
 	return t
@@ -26,21 +31,18 @@ func NewTimer(k *Kernel, fn func()) *Timer {
 func (t *Timer) Reset(delay Duration) {
 	t.Stop()
 	t.at = t.k.Now() + delay
-	t.id = t.k.MustSchedule(delay, t.wrap)
+	t.h = t.k.ScheduleFireHandle(delay, t.wrap)
 }
 
 // Stop cancels a pending firing. It reports whether a firing was pending.
 func (t *Timer) Stop() bool {
-	if t.id == 0 {
-		return false
-	}
-	ok := t.k.Cancel(t.id)
-	t.id = 0
+	ok := t.k.CancelHandle(t.h)
+	t.h = TimerHandle{}
 	return ok
 }
 
 // Active reports whether a firing is pending.
-func (t *Timer) Active() bool { return t.id != 0 }
+func (t *Timer) Active() bool { return t.h.Active() }
 
 // Deadline returns the time of the pending firing; meaningful only while
 // Active.
@@ -49,13 +51,13 @@ func (t *Timer) Deadline() Time { return t.at }
 // Ticker invokes fn every period until stopped. Periods may be jittered per
 // tick via the optional jitter function, which returns an extra delay to add
 // to the nominal period (protocols use this to avoid synchronized beacon
-// collisions).
+// collisions). Like Timer, tickers schedule on the handle fast path.
 type Ticker struct {
 	k       *Kernel
 	fn      func()
 	period  Duration
 	jitter  func() Duration
-	id      EventID
+	h       TimerHandle
 	stopped bool
 }
 
@@ -72,11 +74,11 @@ func (t *Ticker) arm() {
 	if t.jitter != nil {
 		d += t.jitter()
 	}
-	t.id = t.k.MustSchedule(d, t.tick)
+	t.h = t.k.ScheduleFireHandle(d, t.tick)
 }
 
 func (t *Ticker) tick() {
-	t.id = 0
+	t.h = TimerHandle{}
 	if t.stopped {
 		return
 	}
@@ -89,8 +91,6 @@ func (t *Ticker) tick() {
 // Stop halts future ticks. A tick currently executing completes.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.id != 0 {
-		t.k.Cancel(t.id)
-		t.id = 0
-	}
+	t.k.CancelHandle(t.h)
+	t.h = TimerHandle{}
 }

@@ -89,8 +89,8 @@ func (p *cbrPlan) Start() {
 			p.sent++
 			seq++
 			p.deps.Unicast(c.src, c.dst, fmt.Sprintf("c%d-%d", ci, seq), p.cfg.PacketBytes)
-			p.deps.K.MustSchedule(interval, tick)
+			p.deps.K.ScheduleFire(interval, tick)
 		}
-		p.deps.K.MustSchedule(start, tick)
+		p.deps.K.ScheduleFire(start, tick)
 	}
 }

@@ -69,9 +69,9 @@ func (p *epochPlan) Start() {
 		}
 		epoch++
 		p.cfg.OnEpoch(epoch, now)
-		p.deps.K.MustSchedule(p.cfg.Period, fire)
+		p.deps.K.ScheduleFire(p.cfg.Period, fire)
 	}
-	p.deps.K.MustSchedule(p.cfg.Period, fire)
+	p.deps.K.ScheduleFire(p.cfg.Period, fire)
 }
 
 // startSharded runs one epoch chain per shard. All chains fire at the same
@@ -100,8 +100,8 @@ func (p *epochPlan) startSharded() {
 			for _, i := range nodes[s] {
 				p.cfg.OnNode(epoch, now, i)
 			}
-			k.MustSchedule(p.cfg.Period, fire)
+			k.ScheduleFire(p.cfg.Period, fire)
 		}
-		k.MustSchedule(p.cfg.Period, fire)
+		k.ScheduleFire(p.cfg.Period, fire)
 	}
 }

@@ -443,7 +443,7 @@ func (s *Service) afterCrypto(delay sim.Duration, joules float64, fn func()) {
 		fn()
 		return
 	}
-	s.deps.K.MustSchedule(delay, fn)
+	s.deps.K.ScheduleFire(delay, fn)
 }
 
 func (s *Service) onSolicit(from link.NodeID, m SolicitMsg) {

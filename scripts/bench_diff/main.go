@@ -1,0 +1,171 @@
+// Command bench_diff compares two benchmark result files and prints
+// per-benchmark deltas. It reads either of the repo's two formats:
+//
+//   - BENCH_*.json artifacts: every numeric leaf whose key starts with
+//     "ns_op" is collected under its dotted JSON path;
+//   - raw `go test -bench` output: every "BenchmarkX  N  t ns/op" line is
+//     collected under its benchmark name.
+//
+// With -threshold P (percent), the exit status is 1 when any benchmark
+// present in both files regressed (new slower than old) by more than P% —
+// the CI smoke guard runs the kernel bench under both queue
+// implementations and fails the build on a >25% regression.
+//
+// Usage:
+//
+//	bench_diff [-threshold pct] old.(json|txt) new.(json|txt)
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// collectJSON walks v, appending every numeric leaf reached through a key
+// starting with "ns_op" to out under its dotted path.
+func collectJSON(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			path := k
+			if prefix != "" {
+				path = prefix + "." + k
+			}
+			if f, ok := x[k].(float64); ok && strings.HasPrefix(k, "ns_op") {
+				// The leaf path reads better without the metric key itself
+				// when it is the conventional one.
+				if k == "ns_op_min" || k == "ns_op" {
+					path = prefix
+				}
+				out[path] = f
+				continue
+			}
+			collectJSON(path, x[k], out)
+		}
+	case []any:
+		for i, e := range x {
+			collectJSON(fmt.Sprintf("%s[%d]", prefix, i), e, out)
+		}
+	}
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+
+// parseBenchText collects "Benchmark...  N  t ns/op" lines. A benchmark
+// appearing multiple times (-count>1) keeps its minimum, matching the
+// min-over-runs convention of the BENCH_*.json artifacts.
+func parseBenchText(data []byte) map[string]float64 {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if old, ok := out[m[1]]; !ok || v < old {
+			out[m[1]] = v
+		}
+	}
+	return out
+}
+
+// load reads path and extracts its benchmark values by format sniff.
+func load(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "{") || strings.HasPrefix(trimmed, "[") {
+		var v any
+		if err := json.Unmarshal(data, &v); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		out := map[string]float64{}
+		collectJSON("", v, out)
+		return out, nil
+	}
+	return parseBenchText(data), nil
+}
+
+// diff renders the comparison and reports whether any shared benchmark
+// regressed beyond threshold percent (threshold < 0 disables the check).
+func diff(w *bufio.Writer, old, new map[string]float64, threshold float64) (regressed bool) {
+	keys := make([]string, 0, len(old))
+	for k := range old {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ov := old[k]
+		nv, ok := new[k]
+		if !ok {
+			fmt.Fprintf(w, "%-60s %14.0f  (missing in new)\n", k, ov)
+			continue
+		}
+		delta := (nv - ov) / ov * 100
+		mark := ""
+		if threshold >= 0 && delta > threshold {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(w, "%-60s %14.0f -> %14.0f  %+7.2f%%%s\n", k, ov, nv, delta, mark)
+	}
+	extra := make([]string, 0)
+	for k := range new {
+		if _, ok := old[k]; !ok {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(extra)
+	for _, k := range extra {
+		fmt.Fprintf(w, "%-60s %14s -> %14.0f  (missing in old)\n", k, "-", new[k])
+	}
+	return regressed
+}
+
+func main() {
+	threshold := flag.Float64("threshold", -1, "fail (exit 1) when any benchmark regresses by more than this percent; negative disables")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: bench_diff [-threshold pct] old.(json|txt) new.(json|txt)")
+		os.Exit(2)
+	}
+	oldVals, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench_diff:", err)
+		os.Exit(2)
+	}
+	newVals, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench_diff:", err)
+		os.Exit(2)
+	}
+	if len(oldVals) == 0 || len(newVals) == 0 {
+		fmt.Fprintln(os.Stderr, "bench_diff: no benchmark values found in one of the inputs")
+		os.Exit(2)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	regressed := diff(w, oldVals, newVals, *threshold)
+	w.Flush()
+	if regressed {
+		fmt.Fprintf(os.Stderr, "bench_diff: regression beyond %.1f%% threshold\n", *threshold)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCollectJSON(t *testing.T) {
+	var v any
+	blob := `{"results": {"nodes=1000": {"procs=1": {
+		"seq": {"ns_op_min": 100, "runs": 3},
+		"par": {"ns_op_min": 200, "runs": 3}
+	}}}}`
+	if err := json.Unmarshal([]byte(blob), &v); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]float64{}
+	collectJSON("", v, out)
+	if len(out) != 2 {
+		t.Fatalf("collected %v, want 2 entries", out)
+	}
+	if out["results.nodes=1000.procs=1.seq"] != 100 {
+		t.Fatalf("seq leaf = %v", out)
+	}
+	if out["results.nodes=1000.procs=1.par"] != 200 {
+		t.Fatalf("par leaf = %v", out)
+	}
+}
+
+func TestParseBenchText(t *testing.T) {
+	text := `goos: linux
+BenchmarkKernelSchedule/fire/wheel-4         	12345678	        35.53 ns/op	       0 B/op
+BenchmarkKernelSchedule/fire/wheel-4         	12345678	        33.10 ns/op	       0 B/op
+BenchmarkKernelSchedule/fire/heap            	10000000	       103.6 ns/op
+PASS
+`
+	out := parseBenchText([]byte(text))
+	if len(out) != 2 {
+		t.Fatalf("parsed %v, want 2 benchmarks", out)
+	}
+	if out["BenchmarkKernelSchedule/fire/wheel"] != 33.10 {
+		t.Fatalf("repeated benchmark did not keep the minimum: %v", out)
+	}
+	if out["BenchmarkKernelSchedule/fire/heap"] != 103.6 {
+		t.Fatalf("heap row = %v", out)
+	}
+}
+
+func TestDiffThreshold(t *testing.T) {
+	old := map[string]float64{"a": 100, "b": 100, "gone": 5}
+	new := map[string]float64{"a": 110, "b": 130, "fresh": 7}
+	var sb strings.Builder
+	w := bufio.NewWriter(&sb)
+	if regressed := diff(w, old, new, 25); !regressed {
+		t.Fatal("30% regression on b not flagged at threshold 25")
+	}
+	w.Flush()
+	for _, want := range []string{"REGRESSION", "missing in new", "missing in old", "+10.00%"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, sb.String())
+		}
+	}
+	sb.Reset()
+	w = bufio.NewWriter(&sb)
+	if regressed := diff(w, old, new, -1); regressed {
+		t.Fatal("disabled threshold still flagged a regression")
+	}
+	sb.Reset()
+	w = bufio.NewWriter(&sb)
+	if regressed := diff(w, old, map[string]float64{"a": 90, "b": 95}, 25); regressed {
+		t.Fatal("improvement flagged as regression")
+	}
+}
